@@ -1,0 +1,56 @@
+// Shared helpers for the experiment harnesses (bench/scenario_*). Each
+// binary regenerates one experiment from DESIGN.md §4 and prints the rows
+// recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gms/sim_harness.hpp"
+#include "net/msg_kind.hpp"
+#include "util/stats.hpp"
+
+namespace tw::bench {
+
+inline gms::HarnessConfig default_config(int n, std::uint64_t seed) {
+  gms::HarnessConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Run the harness until the full team forms its first group; returns the
+/// formation time (or -1 on timeout).
+inline sim::SimTime form_full_group(gms::SimHarness& h,
+                                    sim::Duration timeout = sim::sec(20)) {
+  h.start();
+  if (!h.run_until_group(
+          util::ProcessSet::full(static_cast<ProcessId>(h.n())),
+          h.now() + timeout))
+    return -1;
+  return h.now();
+}
+
+inline std::uint64_t kind_sent(gms::SimHarness& h, net::MsgKind k) {
+  return h.cluster().network().stats().by_kind[net::kind_byte(k)].sent;
+}
+
+/// Membership-layer control messages of the timewheel protocol (excluding
+/// decisions, which belong to the broadcast layer and flow regardless).
+inline std::uint64_t membership_msgs(gms::SimHarness& h) {
+  return kind_sent(h, net::MsgKind::no_decision) +
+         kind_sent(h, net::MsgKind::join) +
+         kind_sent(h, net::MsgKind::reconfiguration) +
+         kind_sent(h, net::MsgKind::state_transfer) +
+         kind_sent(h, net::MsgKind::state_request);
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& columns) {
+  std::printf("\n== %s ==\n%s\n", title.c_str(), columns.c_str());
+}
+
+inline double ms(double usec) { return usec / 1000.0; }
+
+}  // namespace tw::bench

@@ -1,0 +1,129 @@
+// Experiment E5 — the timed specification (Figure 2 + §3).
+//
+// (a) Detection bound: a failure detector reports a suspicion within 2D of
+//     the last control message from the lost decider chain (plus clock
+//     deviation and scheduling slack). We sweep δ and D and compare the
+//     measured crash→suspicion latency to the analytic bound.
+// (b) Transition census: a long chaotic run must exercise every edge of
+//     Figure 2's state machine.
+#include <map>
+
+#include "bench/bench_common.hpp"
+#include "gms/state.hpp"
+
+namespace tw::bench {
+namespace {
+
+void detection_bound_row(sim::Duration delta, sim::Duration big_d) {
+  constexpr int kSeeds = 30;
+  util::Samples detect_ms;
+  int failures = 0;
+  gms::NodeConfig node;
+  node.delta = delta;
+  node.big_d = big_d;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    gms::HarnessConfig cfg = default_config(5, seed * 3);
+    cfg.delays.delta = delta;
+    cfg.node = node;
+    gms::SimHarness h(cfg);
+    if (form_full_group(h) < 0) {
+      ++failures;
+      continue;
+    }
+    sim::Rng rng(seed);
+    const auto victim = static_cast<ProcessId>(rng.uniform_int(0, 4));
+    const sim::SimTime crash_at =
+        h.now() + rng.uniform_int(sim::msec(20), sim::msec(300));
+    h.faults().crash_at(crash_at, victim);
+    h.run_for(sim::sec(5));
+    const sim::SimTime suspected = h.cluster().trace_log().first_after(
+        sim::TraceKind::suspicion, crash_at);
+    if (suspected == sim::kNever) {
+      ++failures;
+      continue;
+    }
+    detect_ms.add(ms(static_cast<double>(suspected - crash_at)));
+  }
+  // Worst case: the victim is an idle member whose turn in the rotation is
+  // farthest away — its crash is only observable once the decider role
+  // reaches its slot, up to N-1 rotation hops of decision_delay + transit
+  // each, followed by the FD's 2D timeout, plus clock deviation and
+  // scheduling slack.
+  const double bound_ms = ms(static_cast<double>(
+      (5 - 1) * (node.effective_decision_delay() + delta + sim::msec(5)) +
+      2 * big_d + sim::msec(25) /* ε + σ slack */));
+  std::printf(
+      "delta=%2lldms D=%3lldms  detection ms: mean=%6.1f p95=%6.1f "
+      "max=%6.1f  analytic<=%6.1f  %s  fail=%d/%d\n",
+      static_cast<long long>(delta / 1000),
+      static_cast<long long>(big_d / 1000), detect_ms.mean(),
+      detect_ms.percentile(0.95), detect_ms.max(), bound_ms,
+      detect_ms.max() <= bound_ms ? "OK" : "EXCEEDED", failures, kSeeds);
+}
+
+void transition_census() {
+  // A chaotic run that visits all Figure 2 states.
+  gms::HarnessConfig cfg = default_config(5, 99);
+  cfg.delays.loss_prob = 0.02;
+  gms::SimHarness h(cfg);
+  h.start();
+  sim::Rng rng(4242);
+  std::vector<bool> up(5, true);
+  int up_count = 5;
+  sim::SimTime t = sim::sec(3);
+  while (t < sim::sec(120)) {
+    t += rng.uniform_int(sim::msec(300), sim::msec(1200));
+    const auto p = static_cast<ProcessId>(rng.uniform_int(0, 4));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        if (up[p] && up_count - 1 >= 3) {
+          h.faults().crash_at(t, p);
+          up[p] = false;
+          --up_count;
+        }
+        break;
+      case 1:
+        if (!up[p]) {
+          h.faults().recover_at(t, p);
+          up[p] = true;
+          ++up_count;
+        }
+        break;
+      case 2:
+        h.faults().drop_at(t, p, net::kind_byte(net::MsgKind::decision),
+                           util::ProcessSet::full(5),
+                           static_cast<int>(rng.uniform_int(1, 2)));
+        break;
+      default:
+        break;
+    }
+  }
+  h.run_until(sim::sec(125));
+
+  std::map<std::pair<int, int>, int> census;
+  for (const auto& r :
+       h.cluster().trace_log().of_kind(sim::TraceKind::state_changed))
+    ++census[{static_cast<int>(r.b), static_cast<int>(r.a)}];
+  std::printf("\nFigure 2 transition census (from -> to : count):\n");
+  for (const auto& [edge, count] : census)
+    std::printf("  %-18s -> %-18s : %5d\n",
+                gms::gc_state_name(static_cast<gms::GcState>(edge.first)),
+                gms::gc_state_name(static_cast<gms::GcState>(edge.second)),
+                count);
+}
+
+}  // namespace
+}  // namespace tw::bench
+
+int main() {
+  using namespace tw;
+  using namespace tw::bench;
+  print_header("E5: timed specification",
+               "(a) FD detection latency vs the 2D analytic bound");
+  for (sim::Duration delta : {sim::msec(5), sim::msec(10), sim::msec(20)})
+    for (sim::Duration big_d : {sim::msec(30), sim::msec(50), sim::msec(100)})
+      if (big_d >= 2 * delta + sim::msec(10))
+        detection_bound_row(delta, big_d);
+  transition_census();
+  return 0;
+}

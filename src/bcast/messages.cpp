@@ -1,0 +1,89 @@
+#include "bcast/messages.hpp"
+
+namespace tw::bcast {
+
+std::vector<std::byte> Decision::encode() const {
+  util::ByteWriter w;
+  w.u8(net::kind_byte(net::MsgKind::decision));
+  w.var_u64(gid);
+  w.u64(group.bits());
+  w.var_u64(decision_no);
+  w.u32(decider);
+  w.var_i64(send_ts);
+  w.u64(alive.bits());
+  w.u64(joiners.bits());
+  oal.encode(w);
+  return std::move(w).take();
+}
+
+Decision Decision::decode(util::ByteReader& r) {
+  Decision d;
+  d.gid = r.var_u64();
+  d.group = util::ProcessSet(r.u64());
+  d.decision_no = r.var_u64();
+  d.decider = r.u32();
+  d.send_ts = r.var_i64();
+  d.alive = util::ProcessSet(r.u64());
+  d.joiners = util::ProcessSet(r.u64());
+  d.oal = Oal::decode(r);
+  r.expect_done();
+  return d;
+}
+
+std::vector<std::byte> RetransmitRequest::encode() const {
+  util::ByteWriter w;
+  w.u8(net::kind_byte(net::MsgKind::retransmit_request));
+  w.var_u64(wanted.size());
+  for (const auto& pid : wanted) {
+    w.u32(pid.proposer);
+    w.var_u64(pid.seq);
+  }
+  return std::move(w).take();
+}
+
+RetransmitRequest RetransmitRequest::decode(util::ByteReader& r) {
+  RetransmitRequest req;
+  const std::uint64_t n = r.var_u64();
+  if (n > 1 << 16) throw util::DecodeError("retransmit request too large");
+  req.wanted.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ProposalId pid;
+    pid.proposer = r.u32();
+    pid.seq = static_cast<ProposalSeq>(r.var_u64());
+    req.wanted.push_back(pid);
+  }
+  r.expect_done();
+  return req;
+}
+
+std::vector<std::byte> encode_proposal(const Proposal& p) {
+  util::ByteWriter w;
+  w.u8(net::kind_byte(net::MsgKind::proposal));
+  w.u32(p.id.proposer);
+  w.var_u64(p.id.seq);
+  w.u8(static_cast<std::uint8_t>(p.order));
+  w.u8(static_cast<std::uint8_t>(p.atomicity));
+  w.var_u64(p.hdo);
+  w.var_i64(p.send_ts);
+  w.bytes(p.payload);
+  return std::move(w).take();
+}
+
+Proposal decode_proposal(util::ByteReader& r) {
+  Proposal p;
+  p.id.proposer = r.u32();
+  p.id.seq = static_cast<ProposalSeq>(r.var_u64());
+  const auto order_raw = r.u8();
+  const auto atom_raw = r.u8();
+  if (order_raw > 2 || atom_raw > 2)
+    throw util::DecodeError("bad proposal semantics");
+  p.order = static_cast<Order>(order_raw);
+  p.atomicity = static_cast<Atomicity>(atom_raw);
+  p.hdo = r.var_u64();
+  p.send_ts = r.var_i64();
+  p.payload = r.bytes();
+  r.expect_done();
+  return p;
+}
+
+}  // namespace tw::bcast

@@ -1,0 +1,197 @@
+#include "bcast/oal.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace tw::bcast {
+
+void OalEntry::encode(util::ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.var_u64(ordinal);
+  w.u64(acks.bits());
+  w.boolean(undeliverable);
+  w.var_i64(mark_ts);
+  if (kind == Kind::update) {
+    w.u32(pid.proposer);
+    w.var_u64(pid.seq);
+    w.u8(static_cast<std::uint8_t>(order));
+    w.u8(static_cast<std::uint8_t>(atomicity));
+    w.var_u64(hdo);
+    w.var_i64(ts);
+  } else {
+    w.var_u64(gid);
+    w.u64(members.bits());
+    w.var_i64(ts);
+  }
+}
+
+OalEntry OalEntry::decode(util::ByteReader& r) {
+  OalEntry e;
+  const auto kind_raw = r.u8();
+  if (kind_raw > 1) throw util::DecodeError("bad oal entry kind");
+  e.kind = static_cast<Kind>(kind_raw);
+  e.ordinal = r.var_u64();
+  e.acks = util::ProcessSet(r.u64());
+  e.undeliverable = r.boolean();
+  e.mark_ts = r.var_i64();
+  if (e.kind == Kind::update) {
+    e.pid.proposer = r.u32();
+    e.pid.seq = static_cast<ProposalSeq>(r.var_u64());
+    const auto order_raw = r.u8();
+    const auto atom_raw = r.u8();
+    if (order_raw > 2 || atom_raw > 2)
+      throw util::DecodeError("bad oal entry semantics");
+    e.order = static_cast<Order>(order_raw);
+    e.atomicity = static_cast<Atomicity>(atom_raw);
+    e.hdo = r.var_u64();
+    e.ts = r.var_i64();
+  } else {
+    e.gid = r.var_u64();
+    e.members = util::ProcessSet(r.u64());
+    e.ts = r.var_i64();
+  }
+  return e;
+}
+
+Ordinal Oal::append_update(const Proposal& p, util::ProcessSet initial_acks) {
+  TW_ASSERT_MSG(!contains(p.id), "duplicate oal entry for proposal");
+  OalEntry e;
+  e.kind = OalEntry::Kind::update;
+  e.ordinal = next_ordinal();
+  e.acks = initial_acks;
+  e.pid = p.id;
+  e.order = p.order;
+  e.atomicity = p.atomicity;
+  e.hdo = p.hdo;
+  e.ts = p.send_ts;
+  entries_.push_back(e);
+  return e.ordinal;
+}
+
+Ordinal Oal::append_membership(GroupId gid, util::ProcessSet members,
+                               sim::ClockTime ts) {
+  OalEntry e;
+  e.kind = OalEntry::Kind::membership;
+  e.ordinal = next_ordinal();
+  e.acks = members;  // conveyed by the decision itself
+  e.gid = gid;
+  e.members = members;
+  e.ts = ts;
+  entries_.push_back(e);
+  return e.ordinal;
+}
+
+const OalEntry* Oal::find(ProposalId pid) const {
+  for (const auto& e : entries_)
+    if (e.kind == OalEntry::Kind::update && e.pid == pid) return &e;
+  return nullptr;
+}
+
+OalEntry* Oal::find(ProposalId pid) {
+  return const_cast<OalEntry*>(std::as_const(*this).find(pid));
+}
+
+const OalEntry* Oal::find_ordinal(Ordinal o) const {
+  if (o < base_ || o >= next_ordinal()) return nullptr;
+  return &entries_[o - base_];
+}
+
+OalEntry* Oal::find_ordinal(Ordinal o) {
+  return const_cast<OalEntry*>(std::as_const(*this).find_ordinal(o));
+}
+
+void Oal::add_ack(ProposalId pid, ProcessId member) {
+  if (OalEntry* e = find(pid)) e->acks.insert(member);
+}
+
+void Oal::merge_acks_from(const Oal& other) {
+  for (auto& e : entries_) {
+    if (const OalEntry* oe = other.find_ordinal(e.ordinal)) {
+      e.acks = e.acks.union_with(oe->acks);
+      if (oe->undeliverable) e.undeliverable = true;
+    }
+  }
+}
+
+int Oal::purge_stable(util::ProcessSet group, sim::ClockTime now,
+                      sim::Duration deliver_delay, sim::Duration mark_hold) {
+  int purged = 0;
+  for (;;) {
+    if (entries_.empty()) break;
+    const OalEntry& e = entries_.front();
+    bool droppable = false;
+    if (e.undeliverable) {
+      droppable = now - e.mark_ts >= mark_hold;
+    } else if (group.subset_of(e.acks)) {
+      // Time-ordered entries stay until their release time has passed
+      // everywhere, so no member can be tricked into early delivery by a
+      // window jump.
+      droppable = e.kind != OalEntry::Kind::update ||
+                  e.order != Order::time ||
+                  now >= e.ts + deliver_delay + mark_hold;
+    }
+    if (!droppable) break;
+    entries_.pop_front();
+    ++base_;
+    ++purged;
+  }
+  return purged;
+}
+
+void Oal::reset_base(Ordinal base) {
+  TW_ASSERT_MSG(entries_.empty(), "reset_base on a non-empty oal");
+  base_ = base;
+}
+
+bool Oal::is_prefix_compatible(const Oal& other) const {
+  for (const auto& e : entries_) {
+    const OalEntry* oe = other.find_ordinal(e.ordinal);
+    if (oe == nullptr) continue;  // outside other's window
+    if (e.kind != oe->kind) return false;
+    if (e.kind == OalEntry::Kind::update && e.pid != oe->pid) return false;
+    if (e.kind == OalEntry::Kind::membership &&
+        (e.gid != oe->gid || !(e.members == oe->members)))
+      return false;
+  }
+  return true;
+}
+
+void Oal::encode(util::ByteWriter& w) const {
+  w.var_u64(base_);
+  w.var_u64(entries_.size());
+  for (const auto& e : entries_) e.encode(w);
+}
+
+Oal Oal::decode(util::ByteReader& r) {
+  Oal oal;
+  oal.base_ = r.var_u64();
+  const std::uint64_t n = r.var_u64();
+  if (n > 1 << 20) throw util::DecodeError("oal too large");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    OalEntry e = OalEntry::decode(r);
+    if (e.ordinal != oal.base_ + i)
+      throw util::DecodeError("oal ordinals not contiguous");
+    oal.entries_.push_back(std::move(e));
+  }
+  return oal;
+}
+
+std::string Oal::to_string() const {
+  std::ostringstream os;
+  os << "oal[base=" << base_ << ",n=" << entries_.size() << "]{";
+  for (const auto& e : entries_) {
+    os << ' ' << e.ordinal << ':';
+    if (e.kind == OalEntry::Kind::update)
+      os << 'u' << e.pid.proposer << '.' << e.pid.seq;
+    else
+      os << "m#" << e.gid << e.members.to_string();
+    if (e.undeliverable) os << "(X)";
+    os << "a=" << e.acks.to_string();
+  }
+  os << " }";
+  return os.str();
+}
+
+}  // namespace tw::bcast

@@ -1,0 +1,130 @@
+// The ordering and acknowledgement list (oal) — the centrepiece of the
+// decision message (paper §2).
+//
+// "A decision message includes an ordering and acknowledgement list
+//  consisting of update/membership change descriptors, along with
+//  information about which group members have received those
+//  update/membership changes."
+//
+// The oal is a sliding window of descriptors with contiguous ordinals
+// [base, next). The rotating decider appends descriptors (assigning
+// ordinals), merges acknowledgement bits as they accumulate around the
+// wheel, marks descriptors of undeliverable proposals during membership
+// changes (paper §4.3), and purges the stable prefix.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "bcast/types.hpp"
+#include "util/bytes.hpp"
+
+namespace tw::bcast {
+
+struct OalEntry {
+  enum class Kind : std::uint8_t { update = 0, membership = 1 };
+
+  Kind kind = Kind::update;
+  Ordinal ordinal = kNoOrdinal;
+  util::ProcessSet acks;       ///< members known to hold the update
+  bool undeliverable = false;  ///< no member may deliver this (paper §4.3)
+  /// When the undeliverable mark was applied (synchronized clock); the
+  /// decider keeps a marked descriptor in the oal for at least one cycle so
+  /// every member sees the mark before the descriptor is deleted.
+  sim::ClockTime mark_ts = 0;
+
+  // Update descriptors replicate the proposal header so that membership
+  // repair can classify proposals the local process never received.
+  ProposalId pid;
+  Order order = Order::unordered;
+  Atomicity atomicity = Atomicity::weak;
+  Ordinal hdo = 0;
+  sim::ClockTime ts = 0;       ///< proposal / membership-change send ts
+
+  // Membership descriptors carry the new group.
+  GroupId gid = 0;
+  util::ProcessSet members;
+
+  void encode(util::ByteWriter& w) const;
+  static OalEntry decode(util::ByteReader& r);
+};
+
+class Oal {
+ public:
+  /// Append a descriptor for `p`, assigning the next ordinal. `initial_acks`
+  /// is who provably holds the update already (proposer, plus the decider if
+  /// it has the payload).
+  Ordinal append_update(const Proposal& p, util::ProcessSet initial_acks);
+
+  /// Append a membership-change descriptor (paper §4.2: the decider
+  /// "removes d from the membership by appending a new membership
+  /// descriptor in oal").
+  Ordinal append_membership(GroupId gid, util::ProcessSet members,
+                            sim::ClockTime ts);
+
+  [[nodiscard]] const OalEntry* find(ProposalId pid) const;
+  [[nodiscard]] OalEntry* find(ProposalId pid);
+  [[nodiscard]] const OalEntry* find_ordinal(Ordinal o) const;
+  [[nodiscard]] OalEntry* find_ordinal(Ordinal o);
+
+  [[nodiscard]] bool contains(ProposalId pid) const {
+    return find(pid) != nullptr;
+  }
+
+  /// First ordinal still in the window (== next_ordinal when empty).
+  [[nodiscard]] Ordinal base() const { return base_; }
+  /// Ordinal the next appended descriptor will get.
+  [[nodiscard]] Ordinal next_ordinal() const {
+    return base_ + entries_.size();
+  }
+  /// Highest assigned ordinal; kNoOrdinal if none ever (empty and base 0).
+  [[nodiscard]] Ordinal highest() const {
+    return next_ordinal() == 0 ? kNoOrdinal : next_ordinal() - 1;
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::deque<OalEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::deque<OalEntry>& entries() { return entries_; }
+
+  void add_ack(ProposalId pid, ProcessId member);
+  /// OR `other`'s ack bits into matching (same-ordinal) entries.
+  void merge_acks_from(const Oal& other);
+
+  /// Drop the longest prefix of entries that are safe to forget:
+  ///  - fully acknowledged by every member of `group` (everyone holds the
+  ///    update, so every local delivery gate can still be evaluated), with
+  ///    time-ordered entries additionally held until their release time
+  ///    `ts + deliver_delay` has safely passed at `now`; or
+  ///  - marked undeliverable for at least `mark_hold` (one cycle) so every
+  ///    member has seen the mark ("proposal descriptors marked as
+  ///    undeliverable are deleted from oal by a decider when these
+  ///    descriptors reach the head of oal", §4.3).
+  /// Returns the number purged.
+  int purge_stable(util::ProcessSet group, sim::ClockTime now,
+                   sim::Duration deliver_delay, sim::Duration mark_hold);
+
+  /// True iff this oal's window is consistent with `other` being a later
+  /// version: every ordinal both hold describes the same proposal or
+  /// membership change (acks/marks may differ).
+  [[nodiscard]] bool is_prefix_compatible(const Oal& other) const;
+
+  /// Seed the ordinal base of an EMPTY oal. A team re-forming from scratch
+  /// (every member's knowledge lost) seeds the base from the synchronized
+  /// clock so its ordinals can never collide with a previous epoch's.
+  void reset_base(Ordinal base);
+
+  void encode(util::ByteWriter& w) const;
+  static Oal decode(util::ByteReader& r);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Ordinal base_ = 0;
+  std::deque<OalEntry> entries_;
+};
+
+}  // namespace tw::bcast

@@ -1,0 +1,63 @@
+// Core value types of the timewheel atomic broadcast protocol (paper §2).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/process_set.hpp"
+#include "util/types.hpp"
+
+namespace tw::bcast {
+
+/// Ordering semantics of an update broadcast (paper §1: unordered, total
+/// ordered and time ordered).
+enum class Order : std::uint8_t { unordered = 0, total = 1, time = 2 };
+
+/// Atomicity semantics (paper §1: weak, strong and strict atomicity).
+enum class Atomicity : std::uint8_t { weak = 0, strong = 1, strict = 2 };
+
+[[nodiscard]] constexpr const char* order_name(Order o) {
+  switch (o) {
+    case Order::unordered: return "unordered";
+    case Order::total: return "total";
+    case Order::time: return "time";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* atomicity_name(Atomicity a) {
+  switch (a) {
+    case Atomicity::weak: return "weak";
+    case Atomicity::strong: return "strong";
+    case Atomicity::strict: return "strict";
+  }
+  return "?";
+}
+
+/// Identity of a proposal: proposer id plus a per-proposer FIFO sequence
+/// number.
+struct ProposalId {
+  ProcessId proposer = kNoProcess;
+  ProposalSeq seq = 0;
+
+  friend auto operator<=>(const ProposalId&, const ProposalId&) = default;
+};
+
+/// An update broadcast by a group member (paper §2: "a broadcast of an
+/// update may be initiated by a member at any time by sending a proposal
+/// message to all group members").
+struct Proposal {
+  ProposalId id;
+  Order order = Order::unordered;
+  Atomicity atomicity = Atomicity::weak;
+  /// Highest ordinal known to the proposer when it proposed: everything the
+  /// update may causally depend on (strong/strict atomicity, paper §4.3).
+  Ordinal hdo = 0;
+  /// Proposer's synchronized-clock send timestamp (drives time ordering).
+  sim::ClockTime send_ts = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace tw::bcast

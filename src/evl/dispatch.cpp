@@ -1,0 +1,51 @@
+#include "evl/dispatch.hpp"
+
+namespace tw::evl {
+
+ThreadPerEventDemux::ThreadPerEventDemux(std::vector<EventFn> handlers)
+    : handlers_(std::move(handlers)), workers_(handlers_.size()) {
+  for (EventTypeId t = 0; t < static_cast<EventTypeId>(workers_.size()); ++t)
+    workers_[t].thread = std::thread([this, t] { worker_main(t); });
+}
+
+ThreadPerEventDemux::~ThreadPerEventDemux() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_)
+    if (w.thread.joinable()) w.thread.join();
+}
+
+void ThreadPerEventDemux::post(EventTypeId type, std::uint64_t payload) {
+  {
+    std::lock_guard lock(mu_);
+    workers_.at(type).queue.push_back(payload);
+    ++pending_;
+  }
+  cv_.notify_all();
+}
+
+void ThreadPerEventDemux::drain() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPerEventDemux::worker_main(EventTypeId type) {
+  std::unique_lock lock(mu_);
+  auto& queue = workers_[type].queue;
+  for (;;) {
+    cv_.wait(lock, [&] { return shutdown_ || !queue.empty(); });
+    if (shutdown_ && queue.empty()) return;
+    const std::uint64_t payload = queue.front();
+    queue.pop_front();
+    // The lock is held across the handler call on purpose: this reproduces
+    // the paper's explicit one-at-a-time scheduling of handler threads.
+    handlers_[type](payload);
+    --pending_;
+    if (pending_ == 0) cv_.notify_all();
+  }
+}
+
+}  // namespace tw::evl

@@ -1,0 +1,87 @@
+// The two concurrency structurings compared in paper §5 / [22], as
+// in-memory event dispatchers so experiment E6 can measure their relative
+// overhead:
+//
+//  - EventBasedDemux: one thread, a handler table, direct dispatch — the
+//    structure the authors chose for the timewheel implementation.
+//  - ThreadPerEventDemux: one worker thread per event *type*, fed through
+//    per-type queues, with explicit turn-taking so at most one handler runs
+//    at a time (the paper avoided data races among handler threads by
+//    scheduling them explicitly in the protocol code).
+//
+// Both expose post(type, payload) / drain(); E6 pushes identical workloads
+// through each and reports events/second.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tw::evl {
+
+using EventTypeId = std::uint32_t;
+using EventFn = std::function<void(std::uint64_t payload)>;
+
+class EventBasedDemux {
+ public:
+  explicit EventBasedDemux(std::vector<EventFn> handlers)
+      : handlers_(std::move(handlers)) {}
+
+  void post(EventTypeId type, std::uint64_t payload) {
+    queue_.push_back({type, payload});
+  }
+
+  /// Dispatch everything queued; returns count.
+  std::size_t drain() {
+    std::size_t n = 0;
+    while (!queue_.empty()) {
+      const auto [type, payload] = queue_.front();
+      queue_.pop_front();
+      handlers_[type](payload);
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<EventFn> handlers_;
+  std::deque<std::pair<EventTypeId, std::uint64_t>> queue_;
+};
+
+class ThreadPerEventDemux {
+ public:
+  /// Spawns one worker thread per handler.
+  explicit ThreadPerEventDemux(std::vector<EventFn> handlers);
+  ~ThreadPerEventDemux();
+  ThreadPerEventDemux(const ThreadPerEventDemux&) = delete;
+  ThreadPerEventDemux& operator=(const ThreadPerEventDemux&) = delete;
+
+  void post(EventTypeId type, std::uint64_t payload);
+
+  /// Block until every posted event has been processed.
+  void drain();
+
+ private:
+  struct Worker {
+    std::deque<std::uint64_t> queue;  // guarded by ThreadPerEventDemux::mu_
+    std::thread thread;
+  };
+
+  void worker_main(EventTypeId type);
+
+  std::vector<EventFn> handlers_;
+  std::vector<Worker> workers_;
+
+  // One global lock + cv implements the paper's "explicit scheduling":
+  // at most one handler runs at a time, workers take turns.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace tw::evl

@@ -1,0 +1,111 @@
+#include "evl/event_loop.hpp"
+
+#include <poll.h>
+#include <time.h>
+
+#include <algorithm>
+
+namespace tw::evl {
+
+std::int64_t EventLoop::mono_now_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+void EventLoop::watch_fd(int fd, std::function<void()> on_readable) {
+  fd_handlers_[fd] = std::move(on_readable);
+}
+
+void EventLoop::unwatch_fd(int fd) { fd_handlers_.erase(fd); }
+
+sim::EventId EventLoop::add_timer_at(std::int64_t mono_us,
+                                     std::function<void()> fn) {
+  return timers_.schedule(mono_us, std::move(fn));
+}
+
+sim::EventId EventLoop::add_timer_after(sim::Duration d,
+                                        std::function<void()> fn) {
+  return add_timer_at(mono_now_us() + d, std::move(fn));
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  const std::lock_guard lock(posted_mu_);
+  posted_.push_back(std::move(fn));
+}
+
+int EventLoop::dispatch_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    const std::lock_guard lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+  return static_cast<int>(batch.size());
+}
+
+int EventLoop::dispatch_due_timers() {
+  int dispatched = 0;
+  const std::int64_t now = mono_now_us();
+  while (!timers_.empty() && timers_.next_time() <= now) {
+    auto fired = timers_.pop();
+    fired.fn();
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+int EventLoop::poll_once(sim::Duration max_wait_us) {
+  int dispatched_posted = dispatch_posted();
+  if (dispatched_posted > 0) max_wait_us = 0;  // don't sleep with work done
+  // Bound the wait by the nearest timer.
+  std::int64_t wait_us = max_wait_us;
+  if (!timers_.empty()) {
+    const std::int64_t until = timers_.next_time() - mono_now_us();
+    wait_us = std::clamp<std::int64_t>(until, 0, max_wait_us);
+  }
+
+  std::vector<pollfd> fds;
+  fds.reserve(fd_handlers_.size());
+  for (const auto& [fd, handler] : fd_handlers_)
+    fds.push_back(pollfd{fd, POLLIN, 0});
+
+  int dispatched = 0;
+  const int timeout_ms = static_cast<int>((wait_us + 999) / 1000);
+  const int rc =
+      fds.empty() ? 0 : ::poll(fds.data(), fds.size(), timeout_ms);
+  if (fds.empty() && wait_us > 0) {
+    timespec req{wait_us / 1000000, (wait_us % 1000000) * 1000};
+    nanosleep(&req, nullptr);
+  }
+  if (rc > 0) {
+    for (const auto& pfd : fds) {
+      if (pfd.revents & (POLLIN | POLLERR | POLLHUP)) {
+        const auto it = fd_handlers_.find(pfd.fd);
+        if (it != fd_handlers_.end()) {
+          it->second();
+          ++dispatched;
+        }
+      }
+    }
+  }
+  dispatched += dispatch_due_timers();
+  return dispatched + dispatched_posted;
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_) poll_once(sim::msec(100));
+}
+
+void EventLoop::run_for(sim::Duration d) {
+  stopped_ = false;
+  const std::int64_t deadline = mono_now_us() + d;
+  while (!stopped_) {
+    const std::int64_t left = deadline - mono_now_us();
+    if (left <= 0) break;
+    poll_once(std::min<sim::Duration>(left, sim::msec(100)));
+  }
+}
+
+}  // namespace tw::evl

@@ -1,0 +1,73 @@
+// The event-based concurrency framework of paper §5.
+//
+// "We first implemented an event handler that allows a client to wait for
+//  multiple concurrent events: the client can define for each event a
+//  procedure that processes that event. [...] At any time, at most one event
+//  is processed and therefore no explicit synchronization between procedures
+//  [...] is required. The event handler is implemented by a single thread of
+//  control."
+//
+// This EventLoop demultiplexes readable file descriptors (via poll(2)) and
+// timer expirations into user callbacks, all on the calling thread. It backs
+// the real UDP transport and the thread-vs-event benchmark (experiment E6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace tw::evl {
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Monotonic wall time in µs (CLOCK_MONOTONIC).
+  [[nodiscard]] static std::int64_t mono_now_us();
+
+  /// Invoke `on_readable` whenever fd becomes readable.
+  void watch_fd(int fd, std::function<void()> on_readable);
+  void unwatch_fd(int fd);
+
+  sim::EventId add_timer_at(std::int64_t mono_us, std::function<void()> fn);
+  sim::EventId add_timer_after(sim::Duration d, std::function<void()> fn);
+  void cancel_timer(sim::EventId id) { timers_.cancel(id); }
+
+  /// Thread-safe: enqueue `fn` to run on the loop thread during its next
+  /// poll_once iteration. The only EventLoop entry point that may be called
+  /// from a foreign thread.
+  void post(std::function<void()> fn);
+
+  /// Run one demultiplexing step: wait (bounded by `max_wait_us`) for the
+  /// next fd/timer event and dispatch everything due. Returns number of
+  /// callbacks dispatched.
+  int poll_once(sim::Duration max_wait_us);
+
+  /// Run until stop() is called from inside a callback.
+  void run();
+
+  /// Run for approximately `d` of wall time.
+  void run_for(sim::Duration d);
+
+  void stop() { stopped_ = true; }
+
+ private:
+  int dispatch_due_timers();
+  int dispatch_posted();
+
+  sim::EventQueue timers_;  // keyed on monotonic µs
+  std::unordered_map<int, std::function<void()>> fd_handlers_;
+  bool stopped_ = false;
+
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace tw::evl

@@ -1,0 +1,63 @@
+// Timing parameters of the timewheel protocol stack.
+#pragma once
+
+#include "clocksync/clock_sync.hpp"
+#include "sim/time.hpp"
+
+namespace tw::gms {
+
+struct NodeConfig {
+  /// One-way timeout delay δ of the datagram service (paper §2).
+  sim::Duration delta = sim::msec(10);
+  /// Maximum scheduling delay σ of the process service (paper §2).
+  sim::Duration sigma = sim::msec(5);
+  /// D: a decider sends a decision message at most D after assuming the
+  /// role (paper §2); also drives the FD timeout (2D) and slot length
+  /// (S ≥ D + δ).
+  sim::Duration big_d = sim::msec(50);
+  /// When an idle decider actually sends its decision. Must be ≤ D; we
+  /// default to D/2 to leave the FD the transmission/scheduling/clock-skew
+  /// margin the paper's 2D bound assumes (see DESIGN.md §3). 0 = D/2.
+  sim::Duration decision_delay = 0;
+  /// A decider holding fresh proposals sends its decision after this
+  /// (short) batching delay instead of waiting out decision_delay.
+  sim::Duration proposal_batch_delay = sim::msec(2);
+  /// Release delay Δ for time-ordered delivery: a time-ordered update is
+  /// delivered at send_ts + deliver_delay on the synchronized clock.
+  /// Should exceed δ + ε so every member has the update by release time.
+  sim::Duration deliver_delay = sim::msec(60);
+  /// Clock-synchronization service parameters.
+  csync::Config clock;
+  /// Robustness extension beyond the paper (documented in DESIGN.md §3):
+  /// a process stuck in n-failure for this many cycles without a
+  /// completable election falls back to the join state, so the team can
+  /// re-form from scratch after catastrophic failures the paper's failure
+  /// assumption excludes. 0 disables the fallback.
+  int join_fallback_cycles = 6;
+
+  [[nodiscard]] sim::Duration effective_decision_delay() const {
+    return decision_delay > 0 ? decision_delay : big_d / 2;
+  }
+  /// Slot length S = D + δ (paper §4.2's minimum).
+  [[nodiscard]] sim::Duration slot_len() const { return big_d + delta; }
+  [[nodiscard]] sim::Duration cycle_len(int n) const {
+    return slot_len() * n;
+  }
+  /// Failure-detector deadline: a control message from the expected sender
+  /// is due within 2D of the previous one (paper §4.2).
+  [[nodiscard]] sim::Duration fd_timeout() const { return 2 * big_d; }
+  /// Control messages older than this are rejected as late (fail-aware
+  /// rejection of messages from non-Δ-stable senders; also bounds how long
+  /// election messages stay usable — about one cycle, paper §4.2).
+  [[nodiscard]] sim::Duration staleness_bound(int n) const {
+    return cycle_len(n);
+  }
+
+  /// Fill the clock-sync config's network parameters from ours.
+  void propagate_clock_params() {
+    clock.delta = delta;
+    if (clock.min_delay > delta) clock.min_delay = 0;
+  }
+};
+
+}  // namespace tw::gms

@@ -1,0 +1,84 @@
+#include "gms/failure_detector.hpp"
+
+#include "util/assert.hpp"
+
+namespace tw::gms {
+
+FailureDetector::FailureDetector(ProcessId self, int team_size,
+                                 sim::Duration slot_len)
+    : self_(self), n_(team_size), slot_len_(slot_len) {
+  peers_.resize(static_cast<std::size_t>(team_size));
+}
+
+void FailureDetector::reset() {
+  for (auto& p : peers_) p = PerPeer{};
+  clear_expectation();
+}
+
+void FailureDetector::note_control(ProcessId from, sim::ClockTime send_ts,
+                                   sim::ClockTime sync_now) {
+  auto& p = peers_.at(from);
+  if (send_ts > p.last_send_ts) p.last_send_ts = send_ts;
+  if (sync_now > p.last_recv_time) p.last_recv_time = sync_now;
+}
+
+bool FailureDetector::newer_than_seen(ProcessId from,
+                                      sim::ClockTime send_ts) const {
+  return send_ts > peers_.at(from).last_send_ts;
+}
+
+util::ProcessSet FailureDetector::alive_list(sim::ClockTime sync_now) const {
+  util::ProcessSet alive;
+  alive.insert(self_);
+  const sim::Duration window = slot_len_ * n_;
+  for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+    if (q == self_) continue;
+    const auto& p = peers_[q];
+    if (p.last_recv_time >= 0 && sync_now - p.last_recv_time <= window)
+      alive.insert(q);
+  }
+  return alive;
+}
+
+void FailureDetector::note_peer_alive_list(ProcessId from,
+                                           util::ProcessSet alive,
+                                           sim::ClockTime sync_now) {
+  auto& p = peers_.at(from);
+  p.alive = alive;
+  p.alive_recv_time = sync_now;
+}
+
+util::ProcessSet FailureDetector::peer_alive_list(ProcessId from) const {
+  return peers_.at(from).alive;
+}
+
+sim::ClockTime FailureDetector::peer_alive_age(ProcessId from,
+                                               sim::ClockTime sync_now) const {
+  const auto& p = peers_.at(from);
+  return p.alive_recv_time < 0 ? sim::kNever : sync_now - p.alive_recv_time;
+}
+
+void FailureDetector::expect(ProcessId sender, sim::ClockTime base_ts,
+                             sim::ClockTime deadline) {
+  TW_ASSERT(sender < static_cast<ProcessId>(n_));
+  expected_ = sender;
+  base_ts_ = base_ts;
+  deadline_ = deadline;
+}
+
+void FailureDetector::clear_expectation() {
+  expected_ = kNoProcess;
+  base_ts_ = -1;
+  deadline_ = -1;
+}
+
+bool FailureDetector::expectation_met() const {
+  if (expected_ == kNoProcess) return false;
+  return peers_[expected_].last_send_ts > base_ts_;
+}
+
+sim::ClockTime FailureDetector::last_ts_from(ProcessId q) const {
+  return peers_.at(q).last_send_ts;
+}
+
+}  // namespace tw::gms

@@ -1,0 +1,94 @@
+// The failure detector half of the timewheel membership protocol
+// (paper §4.1-§4.2).
+//
+// "Each failure detector maintains an alive-list of team members that are
+//  currently functioning correctly. A failure detector is unreliable [...]
+//  A failure detector keeps all group members under surveillance by
+//  checking that they send control messages periodically."
+//
+// The FD is pure bookkeeping: it records control-message receipts and the
+// single current expectation ("a control message from sender e with a send
+// timestamp greater than base_ts must arrive before deadline"); the node
+// owns the timer and asks the FD whether the expectation was met. The
+// alive-list is every process heard from within the last N slots, plus
+// self (paper §4.2: "The alive-list of FD_p contains p and each process q,
+// such that p has received at least one control message from q in the last
+// N slots").
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/process_set.hpp"
+#include "util/types.hpp"
+
+namespace tw::gms {
+
+class FailureDetector {
+ public:
+  FailureDetector(ProcessId self, int team_size, sim::Duration slot_len);
+
+  void reset();
+
+  /// Record receipt of a control message (decision, no-decision, join or
+  /// reconfiguration) from `from`, carrying send timestamp `send_ts`,
+  /// received at local synchronized time `sync_now`.
+  void note_control(ProcessId from, sim::ClockTime send_ts,
+                    sim::ClockTime sync_now);
+
+  /// Duplicate / old-message filter (paper §4.2: "processes reject
+  /// duplicate or old control messages"): true iff send_ts is strictly
+  /// newer than every control message seen from `from`.
+  [[nodiscard]] bool newer_than_seen(ProcessId from,
+                                     sim::ClockTime send_ts) const;
+
+  /// {self} ∪ {q : control message received within the last N slots}.
+  [[nodiscard]] util::ProcessSet alive_list(sim::ClockTime sync_now) const;
+
+  /// Piggybacked alive-list most recently received from q (what q claims
+  /// to see) — used by the decider to integrate joiners ("if all group
+  /// members have included p in their alive-list").
+  void note_peer_alive_list(ProcessId from, util::ProcessSet alive,
+                            sim::ClockTime sync_now);
+  [[nodiscard]] util::ProcessSet peer_alive_list(ProcessId from) const;
+  [[nodiscard]] sim::ClockTime peer_alive_age(ProcessId from,
+                                              sim::ClockTime sync_now) const;
+
+  // --- the single surveillance expectation -----------------------------
+  /// Expect a control message from `sender` with send_ts > base_ts, due by
+  /// `deadline` (synchronized clock). Replaces any previous expectation.
+  void expect(ProcessId sender, sim::ClockTime base_ts,
+              sim::ClockTime deadline);
+  void clear_expectation();
+
+  [[nodiscard]] bool expecting() const { return expected_ != kNoProcess; }
+  [[nodiscard]] ProcessId expected_sender() const { return expected_; }
+  [[nodiscard]] sim::ClockTime deadline() const { return deadline_; }
+  [[nodiscard]] sim::ClockTime base_ts() const { return base_ts_; }
+
+  /// True iff the expectation is armed and already satisfied by a recorded
+  /// control message (send_ts > base_ts from the expected sender).
+  [[nodiscard]] bool expectation_met() const;
+
+  /// Latest control-message send timestamp seen from q (-1 if none).
+  [[nodiscard]] sim::ClockTime last_ts_from(ProcessId q) const;
+
+ private:
+  ProcessId self_;
+  int n_;
+  sim::Duration slot_len_;
+
+  struct PerPeer {
+    sim::ClockTime last_send_ts = -1;
+    sim::ClockTime last_recv_time = -1;
+    util::ProcessSet alive;
+    sim::ClockTime alive_recv_time = -1;
+  };
+  std::vector<PerPeer> peers_;
+
+  ProcessId expected_ = kNoProcess;
+  sim::ClockTime base_ts_ = -1;
+  sim::ClockTime deadline_ = -1;
+};
+
+}  // namespace tw::gms

@@ -1,0 +1,105 @@
+#include "gms/repair.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace tw::gms {
+
+RepairResult repair_oal(RepairInput in) {
+  RepairResult out;
+  out.oal = std::move(in.oal);
+
+  // Append dpd entries first: delivered-but-unordered proposals must gain
+  // ordinals so their stability can be established in the new group. They
+  // are weak+unordered by construction (only those deliver early).
+  std::vector<bcast::ProposalId> dpds = in.dpds;
+  std::sort(dpds.begin(), dpds.end());
+  dpds.erase(std::unique(dpds.begin(), dpds.end()), dpds.end());
+  for (const auto& pid : dpds) {
+    if (out.oal.contains(pid)) continue;
+    TW_DEBUG("repair: dpd stub for " << pid.proposer << "." << pid.seq
+                                     << " at " << out.oal.next_ordinal());
+    bcast::Proposal stub;
+    stub.id = pid;
+    stub.order = bcast::Order::unordered;
+    stub.atomicity = bcast::Atomicity::weak;
+    stub.hdo = 0;
+    stub.send_ts = in.now;
+    out.oal.append_update(stub, util::ProcessSet{});
+    ++out.appended_dpd;
+  }
+
+  // The highest ordinal known to the remaining group members: after merging
+  // every survivor's view, it is simply the top of the merged window.
+  const Ordinal highest_known = out.oal.highest();
+
+  // Rule (1): lost, and rule (4): unknown dependency — single pass.
+  for (auto& e : out.oal.entries()) {
+    if (e.kind != bcast::OalEntry::Kind::update || e.undeliverable) continue;
+    if (!in.departed.contains(e.pid.proposer)) continue;
+    if (e.acks.intersect(in.new_members).empty()) {
+      e.undeliverable = true;
+      e.mark_ts = in.now;
+      ++out.marked_lost;
+      continue;
+    }
+    if ((e.atomicity == bcast::Atomicity::strong ||
+         e.atomicity == bcast::Atomicity::strict) &&
+        e.hdo != kNoOrdinal && e.hdo > highest_known &&
+        highest_known != kNoOrdinal) {
+      e.undeliverable = true;
+      e.mark_ts = in.now;
+      ++out.marked_unknown_dependency;
+    }
+  }
+
+  // Rules (2) and (3) cascade, so iterate to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& e : out.oal.entries()) {
+      if (e.kind != bcast::OalEntry::Kind::update || e.undeliverable)
+        continue;
+      if (!in.departed.contains(e.pid.proposer)) continue;
+
+      // (2) orphan-order: an earlier undeliverable from the same sender.
+      if (e.order == bcast::Order::total || e.order == bcast::Order::time) {
+        for (const auto& prev : out.oal.entries()) {
+          if (prev.kind != bcast::OalEntry::Kind::update) continue;
+          if (!prev.undeliverable) continue;
+          if (prev.pid.proposer != e.pid.proposer) continue;
+          if (prev.ordinal < e.ordinal) {
+            e.undeliverable = true;
+            e.mark_ts = in.now;
+            ++out.marked_orphan_order;
+            changed = true;
+            break;
+          }
+        }
+        if (e.undeliverable) continue;
+      }
+
+      // (3) orphan-atomicity: an undeliverable ordinal within the hdo
+      // dependency window.
+      if (e.atomicity == bcast::Atomicity::strong ||
+          e.atomicity == bcast::Atomicity::strict) {
+        for (const auto& prev : out.oal.entries()) {
+          if (prev.kind != bcast::OalEntry::Kind::update) continue;
+          if (!prev.undeliverable) continue;
+          if (prev.ordinal <= e.hdo) {
+            e.undeliverable = true;
+            e.mark_ts = in.now;
+            ++out.marked_orphan_atomicity;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace tw::gms

@@ -1,0 +1,62 @@
+// Oal repair at membership changes — the undeliverable-proposal rules of
+// paper §4.3.
+//
+// When a new group is created without some departed members, the new
+// decider must guarantee that "all current group members deliver an update
+// whose proposal descriptor is not removed from oal, and no current group
+// member delivers an update whose proposal descriptor is removed". The four
+// undeliverable categories:
+//   (1) lost           — descriptor in oal, proposed by a departed member,
+//                         and NO surviving member holds the update;
+//   (2) orphan-order   — total/time-ordered proposal of a departed member
+//                         behind (larger ordinal than) an undeliverable one
+//                         from the same sender (FIFO would be violated);
+//   (3) orphan-atomicity — strong/strict proposal of a departed member whose
+//                         hdo reaches an undeliverable ordinal (its
+//                         dependencies can never all be delivered);
+//   (4) unknown-dependency — strong/strict proposal of a departed member
+//                         whose hdo exceeds the highest ordinal any
+//                         survivor knows (its ordering decision was lost).
+#pragma once
+
+#include <vector>
+
+#include "bcast/oal.hpp"
+#include "util/process_set.hpp"
+
+namespace tw::gms {
+
+struct RepairInput {
+  /// The decider's merged oal: its own view with the views received from
+  /// all new members already merged in (acks accumulated).
+  bcast::Oal oal;
+  /// Members of the new group being created.
+  util::ProcessSet new_members;
+  /// Processes removed by this membership change.
+  util::ProcessSet departed;
+  /// dpd lists collected from the new members (delivered proposals with
+  /// undefined ordinals — must be appended so atomicity holds everywhere).
+  std::vector<bcast::ProposalId> dpds;
+  /// Send timestamp for appended membership/dpd entries.
+  sim::ClockTime now = 0;
+};
+
+struct RepairResult {
+  bcast::Oal oal;          ///< repaired oal, with undeliverable marks
+  int marked_lost = 0;
+  int marked_orphan_order = 0;
+  int marked_orphan_atomicity = 0;
+  int marked_unknown_dependency = 0;
+  int appended_dpd = 0;
+
+  [[nodiscard]] int total_marked() const {
+    return marked_lost + marked_orphan_order + marked_orphan_atomicity +
+           marked_unknown_dependency;
+  }
+};
+
+/// Classify and mark undeliverable proposals, append dpd entries. The
+/// returned oal is what the new decider ships in its first decision.
+[[nodiscard]] RepairResult repair_oal(RepairInput in);
+
+}  // namespace tw::gms

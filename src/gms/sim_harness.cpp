@@ -1,0 +1,334 @@
+#include "gms/sim_harness.hpp"
+
+#include <map>
+
+#include "util/assert.hpp"
+#include "util/bytes.hpp"
+
+namespace tw::gms {
+
+namespace {
+
+net::SimClusterConfig cluster_config(const HarnessConfig& cfg) {
+  net::SimClusterConfig cc;
+  cc.n = cfg.n;
+  cc.seed = cfg.seed;
+  cc.delays = cfg.delays;
+  cc.sched = cfg.sched;
+  cc.rho = cfg.perfect_clocks ? 0.0 : cfg.rho;
+  cc.max_clock_offset = cfg.perfect_clocks ? 0 : cfg.max_clock_offset;
+  return cc;
+}
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+SimHarness::SimHarness(HarnessConfig cfg)
+    : cfg_(cfg), cluster_(cluster_config(cfg)) {
+  cfg_.node.delta = cfg_.delays.delta;
+  cfg_.node.sigma = cfg_.sched.sigma;
+  cfg_.node.clock.perfect = cfg_.perfect_clocks;
+  cfg_.node.clock.rho = cfg_.rho;
+  cfg_.node.clock.min_delay = cfg_.delays.min_delay;
+
+  const auto n = static_cast<std::size_t>(cfg_.n);
+  delivered_.resize(n);
+  views_.resize(n);
+  lineage_.resize(n);
+
+  for (ProcessId p = 0; p < static_cast<ProcessId>(cfg_.n); ++p) {
+    AppCallbacks app;
+    app.deliver = [this, p](const bcast::Proposal& prop, Ordinal o) {
+      DeliveryRecord rec;
+      rec.pid = prop.id;
+      rec.ordinal = o;
+      rec.payload = prop.payload;
+      rec.order = prop.order;
+      rec.atomicity = prop.atomicity;
+      rec.at = cluster_.now();
+      delivered_[p].push_back(std::move(rec));
+      lineage_[p].push_back(LineageEntry{prop.id, o, prop.order});
+    };
+    app.view_change = [this, p](GroupId gid, util::ProcessSet members) {
+      views_[p].push_back(ViewRecord{gid, members, cluster_.now()});
+    };
+    // The application "state" is the full lineage; a state transfer
+    // replaces it wholesale, exactly like a replicated app's state.
+    app.get_state = [this, p] {
+      util::ByteWriter w;
+      w.var_u64(lineage_[p].size());
+      for (const auto& e : lineage_[p]) {
+        w.u32(e.pid.proposer);
+        w.var_u64(e.pid.seq);
+        w.var_u64(e.ordinal);
+        w.u8(static_cast<std::uint8_t>(e.order));
+      }
+      return std::move(w).take();
+    };
+    app.set_state = [this, p](std::span<const std::byte> bytes) {
+      util::ByteReader r(bytes);
+      const std::uint64_t count = r.var_u64();
+      std::vector<LineageEntry> fresh;
+      fresh.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        LineageEntry e;
+        e.pid.proposer = r.u32();
+        e.pid.seq = static_cast<ProposalSeq>(r.var_u64());
+        e.ordinal = r.var_u64();
+        e.order = static_cast<bcast::Order>(r.u8());
+        fresh.push_back(e);
+      }
+      lineage_[p] = std::move(fresh);
+    };
+    nodes_.push_back(std::make_unique<TimewheelNode>(cluster_.endpoint(p),
+                                                     cfg_.node, app));
+    cluster_.bind(p, *nodes_.back());
+  }
+}
+
+SimHarness::~SimHarness() = default;
+
+bool SimHarness::run_until_group(util::ProcessSet members,
+                                 sim::SimTime deadline) {
+  const sim::Duration step = sim::msec(10);
+  while (now() < deadline) {
+    run_for(step);
+    bool ok = true;
+    GroupId gid = 0;
+    for (ProcessId p : members) {
+      auto& node = *nodes_[p];
+      if (!cluster_.processes().is_up(p) || !node.in_group() ||
+          !(node.group() == members)) {
+        ok = false;
+        break;
+      }
+      if (gid == 0) gid = node.group_id();
+      if (node.group_id() != gid) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+util::ProcessSet SimHarness::run_until_any_stable_group(
+    sim::SimTime deadline) {
+  const sim::Duration step = sim::msec(10);
+  while (now() < deadline) {
+    run_for(step);
+    // Find a candidate group from any live in-group node.
+    util::ProcessSet candidate;
+    GroupId gid = 0;
+    for (ProcessId p = 0; p < static_cast<ProcessId>(cfg_.n); ++p) {
+      if (cluster_.processes().is_up(p) && nodes_[p]->in_group()) {
+        candidate = nodes_[p]->group();
+        gid = nodes_[p]->group_id();
+        break;
+      }
+    }
+    if (candidate.empty()) continue;
+    bool ok = true;
+    for (ProcessId p : candidate) {
+      if (!cluster_.processes().is_up(p) || !nodes_[p]->in_group() ||
+          !(nodes_[p]->group() == candidate) ||
+          nodes_[p]->group_id() != gid) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return candidate;
+  }
+  return {};
+}
+
+void SimHarness::propose(ProcessId p, std::uint64_t tag, bcast::Order order,
+                         bcast::Atomicity atomicity) {
+  util::ByteWriter w;
+  w.u64(tag);
+  nodes_.at(p)->propose(std::move(w).take(), order, atomicity);
+}
+
+std::uint64_t SimHarness::payload_tag(const std::vector<std::byte>& payload) {
+  if (payload.size() < 8) return 0;
+  util::ByteReader r(payload);
+  return r.u64();
+}
+
+std::vector<std::string> SimHarness::check_view_agreement() const {
+  std::vector<std::string> errors;
+  std::map<GroupId, util::ProcessSet> seen;
+  for (const auto& r :
+       cluster_.trace_log().of_kind(sim::TraceKind::view_installed)) {
+    const auto [it, inserted] = seen.try_emplace(r.a, r.set);
+    if (!inserted && !(it->second == r.set)) {
+      errors.push_back("view disagreement for gid " + std::to_string(r.a) +
+                       ": " + it->second.to_string() + " vs " +
+                       r.set.to_string() + " (p" + std::to_string(r.p) +
+                       " at t=" + std::to_string(r.t) + ")");
+    }
+  }
+  return errors;
+}
+
+std::vector<std::string> SimHarness::check_single_decider() const {
+  std::vector<std::string> errors;
+  std::map<GroupId, ProcessId> creators;
+  for (const auto& r :
+       cluster_.trace_log().of_kind(sim::TraceKind::group_created)) {
+    const auto [it, inserted] = creators.try_emplace(r.a, r.p);
+    if (!inserted && it->second != r.p) {
+      errors.push_back("two creators for gid " + std::to_string(r.a) + ": p" +
+                       std::to_string(it->second) + " and p" +
+                       std::to_string(r.p));
+    }
+  }
+  std::map<std::pair<GroupId, std::uint64_t>, ProcessId> decision_senders;
+  for (const auto& r :
+       cluster_.trace_log().of_kind(sim::TraceKind::decision_sent)) {
+    const auto key = std::make_pair(r.a, r.b);
+    const auto [it, inserted] = decision_senders.try_emplace(key, r.p);
+    if (!inserted && it->second != r.p) {
+      errors.push_back("decision (gid=" + std::to_string(r.a) +
+                       ",no=" + std::to_string(r.b) + ") sent by both p" +
+                       std::to_string(it->second) + " and p" +
+                       std::to_string(r.p));
+    }
+  }
+  return errors;
+}
+
+std::vector<std::string> SimHarness::check_majority() const {
+  std::vector<std::string> errors;
+  for (const auto& r :
+       cluster_.trace_log().of_kind(sim::TraceKind::view_installed)) {
+    if (!r.set.is_majority_of(cfg_.n)) {
+      errors.push_back("group " + std::to_string(r.a) + " = " +
+                       r.set.to_string() + " is not a majority of " +
+                       std::to_string(cfg_.n));
+    }
+    if (!r.set.contains(r.p)) {
+      errors.push_back("p" + std::to_string(r.p) +
+                       " installed a view that excludes itself: gid " +
+                       std::to_string(r.a));
+    }
+  }
+  return errors;
+}
+
+std::vector<std::string> SimHarness::check_delivery_safety() const {
+  std::vector<std::string> errors;
+  // Same ordinal → same proposal everywhere.
+  std::map<Ordinal, bcast::ProposalId> by_ordinal;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(cfg_.n); ++p) {
+    std::map<bcast::ProposalId, int> times;
+    std::map<ProcessId, ProposalSeq> last_total_seq;
+    for (const auto& rec : delivered_[p]) {
+      if (++times[rec.pid] > 1) {
+        errors.push_back("p" + std::to_string(p) + " delivered proposal " +
+                         std::to_string(rec.pid.proposer) + "." +
+                         std::to_string(rec.pid.seq) + " twice");
+      }
+      if (rec.ordinal != kNoOrdinal) {
+        const auto [it, inserted] = by_ordinal.try_emplace(rec.ordinal,
+                                                           rec.pid);
+        if (!inserted && !(it->second == rec.pid)) {
+          errors.push_back(
+              "ordinal " + std::to_string(rec.ordinal) +
+              " bound to two proposals (" + std::to_string(p) + ")");
+        }
+      }
+      if (rec.order == bcast::Order::total) {
+        auto [it, inserted] =
+            last_total_seq.try_emplace(rec.pid.proposer, rec.pid.seq);
+        if (!inserted) {
+          if (rec.pid.seq <= it->second) {
+            errors.push_back("p" + std::to_string(p) +
+                             ": FIFO violation for proposer " +
+                             std::to_string(rec.pid.proposer));
+          }
+          it->second = rec.pid.seq;
+        }
+      }
+    }
+  }
+  return errors;
+}
+
+std::pair<std::uint64_t, std::uint64_t> SimHarness::app_state(
+    ProcessId p) const {
+  std::uint64_t hash = 0;
+  for (const auto& e : lineage_.at(p))
+    hash += mix((static_cast<std::uint64_t>(e.pid.proposer) << 32) +
+                (e.pid.seq * 0x9e3779b97f4a7c15ULL));
+  return {lineage_.at(p).size(), hash};
+}
+
+std::vector<std::string> SimHarness::check_lineage_agreement(
+    util::ProcessSet members) const {
+  std::vector<std::string> errors;
+  std::map<Ordinal, bcast::ProposalId> by_ordinal;
+  for (ProcessId p : members) {
+    std::map<bcast::ProposalId, int> times;
+    std::map<ProcessId, ProposalSeq> last_total_seq;
+    for (const auto& e : lineage_.at(p)) {
+      if (++times[e.pid] > 1)
+        errors.push_back("p" + std::to_string(p) + " lineage contains " +
+                         std::to_string(e.pid.proposer) + "." +
+                         std::to_string(e.pid.seq) + " twice (ordinal " +
+                         std::to_string(e.ordinal) + ", order " +
+                         std::to_string(static_cast<int>(e.order)) + ")");
+      if (e.ordinal != kNoOrdinal) {
+        const auto [it, inserted] = by_ordinal.try_emplace(e.ordinal, e.pid);
+        if (!inserted && !(it->second == e.pid))
+          errors.push_back("lineage ordinal conflict at " +
+                           std::to_string(e.ordinal) + " (p" +
+                           std::to_string(p) + ")");
+      }
+      if (e.order == bcast::Order::total) {
+        auto [it, inserted] =
+            last_total_seq.try_emplace(e.pid.proposer, e.pid.seq);
+        if (!inserted) {
+          if (e.pid.seq <= it->second)
+            errors.push_back(
+                "p" + std::to_string(p) +
+                " lineage FIFO violation for proposer " +
+                std::to_string(e.pid.proposer) + ": seq " +
+                std::to_string(e.pid.seq) + " (ordinal " +
+                std::to_string(e.ordinal) + ") after seq " +
+                std::to_string(it->second));
+          it->second = e.pid.seq;
+        }
+      }
+    }
+  }
+  return errors;
+}
+
+std::vector<std::string> SimHarness::check_all_invariants() const {
+  std::vector<std::string> errors;
+  for (auto&& chunk :
+       {check_view_agreement(), check_single_decider(), check_majority(),
+        check_delivery_safety()})
+    errors.insert(errors.end(), chunk.begin(), chunk.end());
+  return errors;
+}
+
+std::vector<std::string> SimHarness::check_majority_agreement_invariants(
+    util::ProcessSet final_members) const {
+  std::vector<std::string> errors;
+  for (auto&& chunk :
+       {check_view_agreement(), check_single_decider(), check_majority(),
+        check_lineage_agreement(final_members)})
+    errors.insert(errors.end(), chunk.begin(), chunk.end());
+  return errors;
+}
+
+}  // namespace tw::gms

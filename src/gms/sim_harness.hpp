@@ -1,0 +1,141 @@
+// SimHarness — a whole timewheel team inside the discrete-event simulator,
+// with application-level recording and checkers for the paper's §3
+// membership properties. Used by the integration tests and by every
+// benchmark scenario.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gms/timewheel_node.hpp"
+#include "net/sim_transport.hpp"
+
+namespace tw::gms {
+
+struct HarnessConfig {
+  int n = 5;
+  std::uint64_t seed = 1;
+  NodeConfig node;
+  sim::DelayModel delays;
+  sim::SchedModel sched;
+  double rho = 1e-5;
+  sim::ClockTime max_clock_offset = sim::msec(500);
+  /// Use the perfect clock-sync mode (requires max_clock_offset == 0).
+  bool perfect_clocks = false;
+};
+
+struct DeliveryRecord {
+  bcast::ProposalId pid;
+  Ordinal ordinal = kNoOrdinal;
+  std::vector<std::byte> payload;
+  bcast::Order order = bcast::Order::unordered;
+  bcast::Atomicity atomicity = bcast::Atomicity::weak;
+  sim::SimTime at = 0;
+};
+
+struct ViewRecord {
+  GroupId gid = 0;
+  util::ProcessSet members;
+  sim::SimTime at = 0;
+};
+
+/// One entry of a node's application lineage: the delivery history that
+/// makes up its current replica state. Unlike the raw delivery log, the
+/// lineage is REPLACED by a state transfer — mirroring what happens to the
+/// real application state (paper §3 majority agreement: only histories of
+/// completed majority groups must agree; a divergent branch dies when its
+/// member is re-integrated with a state transfer).
+struct LineageEntry {
+  bcast::ProposalId pid;
+  Ordinal ordinal = kNoOrdinal;
+  bcast::Order order = bcast::Order::unordered;
+};
+
+class SimHarness {
+ public:
+  explicit SimHarness(HarnessConfig cfg);
+  ~SimHarness();
+  SimHarness(const SimHarness&) = delete;
+  SimHarness& operator=(const SimHarness&) = delete;
+
+  [[nodiscard]] int n() const { return cfg_.n; }
+  net::SimCluster& cluster() { return cluster_; }
+  TimewheelNode& node(ProcessId p) { return *nodes_.at(p); }
+  sim::FaultScript& faults() { return cluster_.faults(); }
+  [[nodiscard]] sim::SimTime now() const { return cluster_.now(); }
+  [[nodiscard]] const HarnessConfig& config() const { return cfg_; }
+
+  void start() { cluster_.start(); }
+  void run_until(sim::SimTime t) { cluster_.run_until(t); }
+  void run_for(sim::Duration d) { cluster_.run_until(now() + d); }
+
+  // --- app recording ----------------------------------------------------
+  [[nodiscard]] const std::vector<DeliveryRecord>& delivered(
+      ProcessId p) const {
+    return delivered_.at(p);
+  }
+  [[nodiscard]] const std::vector<ViewRecord>& views(ProcessId p) const {
+    return views_.at(p);
+  }
+  /// The transferable application state: an order-insensitive accumulator
+  /// over the node's current lineage (count, sum-of-hashes).
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> app_state(
+      ProcessId p) const;
+  [[nodiscard]] const std::vector<LineageEntry>& lineage(ProcessId p) const {
+    return lineage_.at(p);
+  }
+
+  // --- convenience drivers ----------------------------------------------
+  /// Run until every process in `members` is in a group containing exactly
+  /// `members` with a common group id, or until the deadline. Returns true
+  /// on success.
+  bool run_until_group(util::ProcessSet members, sim::SimTime deadline);
+
+  /// Run until every live member agrees on SOME common group; returns its
+  /// members (empty set on timeout). Crashed processes are ignored.
+  util::ProcessSet run_until_any_stable_group(sim::SimTime deadline);
+
+  /// Propose from p with the given semantics; payload is a small tagged
+  /// blob (tag echoed back in DeliveryRecord::payload[0..7]).
+  void propose(ProcessId p, std::uint64_t tag,
+               bcast::Order order = bcast::Order::total,
+               bcast::Atomicity atomicity = bcast::Atomicity::weak);
+
+  static std::uint64_t payload_tag(const std::vector<std::byte>& payload);
+
+  // --- invariant checkers (return error strings; empty = OK) ------------
+  /// §3 property (2): identical up-to-date groups — every view_installed
+  /// trace record with the same gid names the same member set.
+  [[nodiscard]] std::vector<std::string> check_view_agreement() const;
+  /// At most one decider: no two processes create the same group id, and no
+  /// (gid, decision_no) pair is sent by two different processes.
+  [[nodiscard]] std::vector<std::string> check_single_decider() const;
+  /// §3 property (5): every installed group is a majority of the team.
+  [[nodiscard]] std::vector<std::string> check_majority() const;
+  /// Broadcast safety over raw delivery logs: same ordinal → same proposal
+  /// everywhere; per-node no duplicate delivery; FIFO per proposer among
+  /// total-ordered deliveries. STRICTER than the paper's §3 majority
+  /// agreement — use only in scenarios without history-resetting rejoins.
+  [[nodiscard]] std::vector<std::string> check_delivery_safety() const;
+  /// The paper's actual guarantee, on application lineages: among `members`
+  /// (typically the final converged group), pairwise ordinal→proposal
+  /// agreement, FIFO per proposer, and no duplicate within a lineage.
+  [[nodiscard]] std::vector<std::string> check_lineage_agreement(
+      util::ProcessSet members) const;
+  /// view agreement + single decider + majority + raw delivery safety.
+  [[nodiscard]] std::vector<std::string> check_all_invariants() const;
+  /// view agreement + single decider + majority + lineage agreement.
+  [[nodiscard]] std::vector<std::string> check_majority_agreement_invariants(
+      util::ProcessSet final_members) const;
+
+ private:
+  HarnessConfig cfg_;
+  net::SimCluster cluster_;
+  std::vector<std::unique_ptr<TimewheelNode>> nodes_;
+  std::vector<std::vector<DeliveryRecord>> delivered_;
+  std::vector<std::vector<ViewRecord>> views_;
+  std::vector<std::vector<LineageEntry>> lineage_;
+};
+
+}  // namespace tw::gms

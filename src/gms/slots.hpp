@@ -1,0 +1,84 @@
+// Time-slot arithmetic (paper §4.1).
+//
+// "The global time-base provided by the synchronized clocks is divided into
+//  cycles and the cycles are divided into slots; each team member has
+//  exactly one slot per cycle."
+//
+// Slot k covers synchronized-clock interval [k·S, (k+1)·S); its owner is
+// team member k mod N. The slot length S must be at least D + δ (paper
+// §4.2: "The length of each time slot has to be at least D + δ").
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace tw::gms {
+
+class SlotMap {
+ public:
+  SlotMap(int team_size, sim::Duration slot_len)
+      : n_(team_size), slot_len_(slot_len) {
+    TW_ASSERT(team_size > 0);
+    TW_ASSERT(slot_len > 0);
+  }
+
+  [[nodiscard]] int team_size() const { return n_; }
+  [[nodiscard]] sim::Duration slot_len() const { return slot_len_; }
+  [[nodiscard]] sim::Duration cycle_len() const { return slot_len_ * n_; }
+
+  /// Index of the slot containing synchronized time t (t >= 0).
+  [[nodiscard]] std::int64_t slot_index(sim::ClockTime t) const {
+    TW_ASSERT(t >= 0);
+    return t / slot_len_;
+  }
+
+  [[nodiscard]] ProcessId owner(std::int64_t slot) const {
+    return static_cast<ProcessId>(slot % n_);
+  }
+
+  [[nodiscard]] sim::ClockTime slot_start(std::int64_t slot) const {
+    return slot * slot_len_;
+  }
+
+  /// Start time of p's next slot strictly after time t.
+  [[nodiscard]] sim::ClockTime next_slot_start(ProcessId p,
+                                               sim::ClockTime t) const {
+    const std::int64_t cur = slot_index(t);
+    std::int64_t ahead = (static_cast<std::int64_t>(p) - cur) % n_;
+    if (ahead < 0) ahead += n_;
+    std::int64_t target = cur + ahead;
+    if (slot_start(target) <= t) target += n_;
+    return slot_start(target);
+  }
+
+  /// Index of p's most recent slot at or before `slot` (may equal `slot`
+  /// when p owns it).
+  [[nodiscard]] std::int64_t last_slot_of(ProcessId p,
+                                          std::int64_t slot) const {
+    std::int64_t back = (slot - static_cast<std::int64_t>(p)) % n_;
+    if (back < 0) back += n_;
+    return slot - back;
+  }
+
+  /// True iff a message sent at sender time `sent` falls inside the
+  /// sender's most recent slot before observer slot `obs_slot` ("received a
+  /// reconfiguration message from all processes in S in their last time
+  /// slot", §4.2). Observers evaluate at the start of their own slot, so
+  /// the sender's *last* slot is its latest slot strictly before obs_slot.
+  [[nodiscard]] bool in_last_slot_of(ProcessId sender, sim::ClockTime sent,
+                                     std::int64_t obs_slot) const {
+    if (sent < 0) return false;
+    const std::int64_t sender_slot = slot_index(sent);
+    if (owner(sender_slot) != sender) return false;
+    return sender_slot == last_slot_of(sender, obs_slot - 1);
+  }
+
+ private:
+  int n_;
+  sim::Duration slot_len_;
+};
+
+}  // namespace tw::gms

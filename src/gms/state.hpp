@@ -1,0 +1,36 @@
+// Group-creator states (paper §4.2, Figure 2).
+#pragma once
+
+#include <cstdint>
+
+namespace tw::gms {
+
+/// The six states of Figure 2, plus `desync`: a process whose fail-aware
+/// synchronized clock has become out-of-date stops participating until the
+/// clock is synchronized again (the paper handles this by removing the
+/// process from the group; it "applies to join the group again" — our
+/// desync state is the local bookkeeping for that episode).
+enum class GcState : std::uint8_t {
+  join = 0,
+  failure_free = 1,
+  wrong_suspicion = 2,
+  one_failure_receive = 3,
+  one_failure_send = 4,
+  n_failure = 5,
+  desync = 6,
+};
+
+[[nodiscard]] constexpr const char* gc_state_name(GcState s) {
+  switch (s) {
+    case GcState::join: return "join";
+    case GcState::failure_free: return "failure-free";
+    case GcState::wrong_suspicion: return "wrong-suspicion";
+    case GcState::one_failure_receive: return "1-failure-receive";
+    case GcState::one_failure_send: return "1-failure-send";
+    case GcState::n_failure: return "n-failure";
+    case GcState::desync: return "desync";
+  }
+  return "?";
+}
+
+}  // namespace tw::gms

@@ -1,0 +1,1495 @@
+#include "gms/timewheel_node.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "gms/repair.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace tw::gms {
+
+using sim::TraceKind;
+
+TimewheelNode::TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg,
+                             AppCallbacks app)
+    : ep_(endpoint),
+      cfg_(cfg),
+      app_(std::move(app)),
+      n_(endpoint.team_size()),
+      slots_(n_, cfg_.slot_len()),
+      clock_(endpoint, (cfg_.propagate_clock_params(), cfg_.clock),
+             [this](bool s) { on_clock_sync_change(s); }),
+      fd_(endpoint.self(), n_, cfg_.slot_len()),
+      delivery_(endpoint.self(), cfg_.deliver_delay,
+                [this](const bcast::Proposal& p, Ordinal o) {
+                  deliver_to_app(p, o);
+                }) {
+  TW_ASSERT_MSG(n_ >= 2 && n_ <= 64, "team size must be in [2, 64]");
+  join_infos_.resize(static_cast<std::size_t>(n_));
+  recon_infos_.resize(static_cast<std::size_t>(n_));
+  nd_infos_.resize(static_cast<std::size_t>(n_));
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void TimewheelNode::cancel_timer(net::TimerId& timer) {
+  if (timer != net::kNoTimer) {
+    ep_.cancel_timer(timer);
+    timer = net::kNoTimer;
+  }
+}
+
+void TimewheelNode::full_reset() {
+  cancel_timer(slot_timer_);
+  cancel_timer(fd_timer_);
+  cancel_timer(decision_timer_);
+  cancel_timer(delivery_timer_);
+  cancel_timer(housekeeping_timer_);
+  cancel_timer(retransmit_timer_);
+  cancel_timer(state_wait_timer_);
+
+  state_ = GcState::join;
+  installed_ = false;
+  gid_ = 0;
+  group_.clear();
+  suspect_ = kNoProcess;
+  last_decision_ts_ = -1;
+  last_decision_no_ = 0;
+  last_decider_ = kNoProcess;
+  i_am_decider_ = false;
+  expected_decider_ = kNoProcess;
+  decision_pending_work_ = false;
+  pending_proposals_.clear();
+  last_control_sent_.clear();
+  for (auto& j : join_infos_) j = JoinInfo{};
+  for (auto& r : recon_infos_) r = ReconInfo{};
+  for (auto& e : nd_infos_) e = ElectionInfo{};
+  my_recon_ts_ = -1;
+  my_recon_list_.clear();
+  abstain_until_ = -1;
+  sent_nd_this_episode_ = false;
+  awaiting_exit_decisions_ = false;
+  exit_decisions_needed_.clear();
+  awaiting_state_ = false;
+  buffered_deliveries_.clear();
+  n_failure_since_ = -1;
+  retransmit_hint_ = kNoProcess;
+
+  stats_ = NodeStats{};
+  fd_.reset();
+  delivery_.reset();
+  // Proposal ids must never repeat across incarnations: restart the
+  // sequence from the hardware clock's microsecond reading (the clock keeps
+  // running through a process crash, and no incarnation proposes at a
+  // sustained rate above one per microsecond).
+  next_seq_ = static_cast<ProposalSeq>(
+      std::max<sim::ClockTime>(0, ep_.hw_now()));
+}
+
+void TimewheelNode::on_start() {
+  // Proposals queued before the first start are kept; after a crash
+  // recovery they are volatile state and correctly lost.
+  auto kept = ever_started_ ? decltype(pending_proposals_){}
+                            : std::move(pending_proposals_);
+  ever_started_ = true;
+  full_reset();
+  pending_proposals_ = std::move(kept);
+  clock_.start();
+  ep_.trace(TraceKind::node_started);
+  arm_slot_timer();
+  housekeeping_timer_ = ep_.set_timer_after(
+      cfg_.slot_len(), [this] { on_housekeeping(); });
+}
+
+void TimewheelNode::set_state(GcState next) {
+  if (next == state_) return;
+  if (next == GcState::wrong_suspicion) ++stats_.wrong_suspicions;
+  trace_state_change(state_, next);
+  state_ = next;
+}
+
+void TimewheelNode::trace_state_change(GcState from, GcState to) {
+  ep_.trace(TraceKind::state_changed, static_cast<std::uint64_t>(to),
+            static_cast<std::uint64_t>(from), {},
+            std::string(gc_state_name(from)) + "->" + gc_state_name(to));
+}
+
+void TimewheelNode::on_clock_sync_change(bool synchronized) {
+  if (!synchronized) {
+    if (state_ == GcState::desync || state_ == GcState::join) return;
+    // Fail-awareness: we KNOW our group knowledge may be out of date; stop
+    // participating until the clock is synchronized again.
+    set_state(GcState::desync);
+    i_am_decider_ = false;
+    cancel_timer(fd_timer_);
+    cancel_timer(decision_timer_);
+    fd_.clear_expectation();
+  } else if (state_ == GcState::desync) {
+    // "When p can synchronize its clock again, p applies to join the group
+    // again" (paper §2).
+    set_state(GcState::join);
+    installed_ = false;
+    suspect_ = kNoProcess;
+    for (auto& j : join_infos_) j = JoinInfo{};
+    arm_slot_timer();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+void TimewheelNode::arm_sync_timer(net::TimerId& timer, sim::ClockTime target,
+                                   std::function<void()> fn) {
+  cancel_timer(timer);
+  const auto now = sync_now();
+  if (!now) {
+    // Clock out of date: retry once it may be back.
+    timer = ep_.set_timer_after(cfg_.slot_len(),
+                                [this, &timer, target, fn]() mutable {
+                                  timer = net::kNoTimer;
+                                  arm_sync_timer(timer, target, fn);
+                                });
+    return;
+  }
+  const sim::ClockTime hw_target =
+      std::max<sim::ClockTime>(ep_.hw_now(),
+                               target - clock_.current_offset());
+  timer = ep_.set_timer_at_hw(hw_target, [this, &timer, target, fn] {
+    timer = net::kNoTimer;
+    const auto t = sync_now();
+    if (!t) return;  // desync handling takes over
+    if (*t < target) {
+      arm_sync_timer(timer, target, fn);  // offset moved; re-arm
+      return;
+    }
+    fn();
+  });
+}
+
+void TimewheelNode::arm_slot_timer() {
+  const auto now = sync_now();
+  if (!now) {
+    cancel_timer(slot_timer_);
+    slot_timer_ = ep_.set_timer_after(cfg_.slot_len() / 2,
+                                      [this] { arm_slot_timer(); });
+    return;
+  }
+  const sim::ClockTime next = slots_.next_slot_start(self(), *now);
+  arm_sync_timer(slot_timer_, next, [this] { on_own_slot(); });
+}
+
+void TimewheelNode::on_own_slot() {
+  const auto now = sync_now();
+  if (now) {
+    const std::int64_t slot = slots_.slot_index(*now);
+    switch (state_) {
+      case GcState::join:
+        join_slot_duties(*now, slot);
+        break;
+      case GcState::n_failure:
+        reconfiguration_slot_duties(*now, slot);
+        break;
+      default:
+        break;  // members speak through decisions, not slots
+    }
+  }
+  arm_slot_timer();
+}
+
+void TimewheelNode::on_housekeeping() {
+  housekeeping_timer_ =
+      ep_.set_timer_after(cfg_.slot_len(), [this] { on_housekeeping(); });
+  const auto now = sync_now();
+  if (!now) return;
+  // Proposer-driven loss recovery: re-broadcast own proposals that no
+  // decision has ordered after a full D — a decider that missed the first
+  // transmission would otherwise hold back this proposer's later FIFO
+  // traffic for a grace period.
+  if (in_group()) {
+    // Re-stamp before re-broadcasting: deciders only order proposals whose
+    // timestamp is fresh, so a live proposer must keep renewing its
+    // unordered ones. (A proposal whose ordering this proposer has already
+    // seen is bound, never re-stamped, and thus ages out everywhere else —
+    // which is what makes re-ordering after a purge impossible.)
+    for (const bcast::Proposal* p :
+         delivery_.stale_unordered_from(self(), *now, cfg_.big_d)) {
+      delivery_.restamp_unordered(p->id, *now);
+      TW_DEBUG("p" << self() << " rebroadcasts stale " << p->id.proposer
+                   << "." << p->id.seq);
+      ep_.broadcast(bcast::encode_proposal(*p));
+    }
+  }
+  // Decision-progress watchdog: join/reconfiguration traffic from a
+  // non-member keeps the FD's alive surveillance satisfied, but only
+  // decisions carry the service forward. If no fresh decision has arrived
+  // for two cycles while we sit in failure-free, the decider role is lost
+  // in a way the per-message FD cannot see — raise the suspicion ourselves.
+  if (state_ == GcState::failure_free && in_group() && !i_am_decider_ &&
+      last_decision_ts_ >= 0 &&
+      *now - last_decision_ts_ > 2 * slots_.cycle_len()) {
+    const ProcessId e = expected_decider_ != kNoProcess
+                            ? expected_decider_
+                            : group_.successor_of(self());
+    fd_.expect(e, last_decision_ts_, *now);
+    on_fd_timeout();
+    return;
+  }
+  // Join fallback: an election that cannot complete (e.g. the surviving
+  // members are no longer a majority of the team) would stall forever under
+  // the paper's failure assumption; fall back to join so the team can
+  // re-form once enough processes are back. The watchdog covers every
+  // non-stable state, not just n-failure — a wedged wrong-suspicion or
+  // 1-failure state is just as dead.
+  const bool unstable = state_ == GcState::wrong_suspicion ||
+                        state_ == GcState::one_failure_receive ||
+                        state_ == GcState::one_failure_send ||
+                        state_ == GcState::n_failure;
+  if (!unstable) {
+    n_failure_since_ = -1;
+  } else {
+    if (n_failure_since_ < 0) n_failure_since_ = *now;
+    if (cfg_.join_fallback_cycles > 0 &&
+        *now - n_failure_since_ >
+            cfg_.join_fallback_cycles * slots_.cycle_len()) {
+      TW_INFO("p" << self()
+                  << ": election stalled; falling back to join state");
+      set_state(GcState::join);
+      installed_ = false;
+      awaiting_exit_decisions_ = false;
+      i_am_decider_ = false;
+      suspect_ = kNoProcess;
+      fd_.clear_expectation();
+      cancel_timer(fd_timer_);
+      cancel_timer(decision_timer_);
+      n_failure_since_ = -1;
+      for (auto& j : join_infos_) j = JoinInfo{};
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Datagram dispatch
+// ---------------------------------------------------------------------------
+
+void TimewheelNode::on_datagram(ProcessId from,
+                                std::span<const std::byte> data) {
+  if (data.empty()) return;
+  util::ByteReader r(data);
+  net::MsgKind kind;
+  try {
+    kind = static_cast<net::MsgKind>(r.u8());
+    if (csync::ClockSync::handles(kind)) {
+      clock_.on_datagram(from, kind, r);
+      return;
+    }
+    switch (kind) {
+      case net::MsgKind::decision:
+        handle_decision(from, bcast::Decision::decode(r));
+        break;
+      case net::MsgKind::proposal:
+        handle_proposal(from, bcast::decode_proposal(r));
+        break;
+      case net::MsgKind::no_decision:
+        handle_no_decision(from, NoDecision::decode(r));
+        break;
+      case net::MsgKind::join:
+        handle_join(from, Join::decode(r));
+        break;
+      case net::MsgKind::reconfiguration:
+        handle_reconfiguration(from, Reconfiguration::decode(r));
+        break;
+      case net::MsgKind::state_transfer:
+        handle_state_transfer(from, StateTransfer::decode(r));
+        break;
+      case net::MsgKind::state_request:
+        handle_state_request(from);
+        break;
+      case net::MsgKind::retransmit_request:
+        handle_retransmit_request(from, bcast::RetransmitRequest::decode(r));
+        break;
+      default:
+        break;  // not ours (application traffic on a shared socket)
+    }
+  } catch (const util::DecodeError& e) {
+    TW_WARN("p" << self() << ": dropping malformed datagram from " << from
+                << ": " << e.what());
+  }
+}
+
+bool TimewheelNode::accept_control(ProcessId from, sim::ClockTime send_ts,
+                                   util::ProcessSet alive,
+                                   sim::ClockTime now) {
+  // Fail-aware rejection of late messages ("p can detect all messages from
+  // non-Δ-stable processes as being late and can reject them", §3): a
+  // control message older than about a cycle is useless and dangerous.
+  if (now - send_ts > cfg_.staleness_bound(n_)) return false;
+  if (send_ts - now > clock_.epsilon() + cfg_.sigma + cfg_.delta)
+    return false;  // from the future: sender's clock is broken
+  // Duplicate / old-message filter (§4.2).
+  if (!fd_.newer_than_seen(from, send_ts)) return false;
+  fd_.note_control(from, send_ts, now);
+  fd_.note_peer_alive_list(from, alive, now);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Failure-detector surveillance
+// ---------------------------------------------------------------------------
+
+ProcessId TimewheelNode::succ_active(ProcessId p) const {
+  util::ProcessSet ring = group_;
+  if (suspect_ != kNoProcess && ring.size() > 1) ring.erase(suspect_);
+  return ring.successor_of(p);
+}
+
+ProcessId TimewheelNode::pred_active(ProcessId p) const {
+  util::ProcessSet ring = group_;
+  if (suspect_ != kNoProcess && ring.size() > 1) ring.erase(suspect_);
+  return ring.predecessor_of(p);
+}
+
+void TimewheelNode::expect_next(ProcessId sender, sim::ClockTime base_ts) {
+  if (sender == kNoProcess ||
+      (sender == self() && (state_ == GcState::failure_free ||
+                            state_ == GcState::join))) {
+    fd_.clear_expectation();
+    cancel_timer(fd_timer_);
+    return;
+  }
+  if (sender == self()) {
+    // The election ring wrapped back to us without resolving (can happen
+    // when only two members are live): poison-pill expectation — nobody
+    // can satisfy it, so the 2D timeout escalates to the multiple-failure
+    // election.
+    fd_.expect(self(), base_ts, base_ts + cfg_.fd_timeout());
+    arm_sync_timer(fd_timer_, base_ts + cfg_.fd_timeout(), [this] {
+      const auto t = sync_now();
+      if (t && (state_ == GcState::wrong_suspicion ||
+                state_ == GcState::one_failure_receive ||
+                state_ == GcState::one_failure_send))
+        enter_n_failure(*t);
+    });
+    return;
+  }
+  // Never regress the surveillance: a control message that arrived out of
+  // order (the ring's messages take independent paths) must not rewind the
+  // expectation to an already-satisfied sender.
+  if (fd_.expecting() && base_ts < fd_.base_ts()) return;
+  const sim::ClockTime deadline = base_ts + cfg_.fd_timeout();
+  fd_.expect(sender, base_ts, deadline);
+  arm_sync_timer(fd_timer_, deadline, [this] {
+    if (!fd_.expecting()) return;
+    if (fd_.expectation_met()) {
+      // The expected control message did arrive (possibly overtaken by
+      // later ring traffic); advance the surveillance to its successor.
+      const ProcessId e = fd_.expected_sender();
+      const sim::ClockTime ts = fd_.last_ts_from(e);
+      fd_.clear_expectation();
+      expect_next(succ_active(e), ts);
+      return;
+    }
+    on_fd_timeout();
+  });
+}
+
+void TimewheelNode::on_fd_timeout() {
+  const auto now_opt = sync_now();
+  if (!now_opt) return;
+  const sim::ClockTime now = *now_opt;
+  const ProcessId e = fd_.expected_sender();
+  fd_.clear_expectation();
+  ++stats_.suspicions_raised;
+  ep_.trace(TraceKind::suspicion, e);
+
+  switch (state_) {
+    case GcState::failure_free: {
+      // Single failure suspected: the successor of the suspect opens the
+      // no-decision ring; everyone else waits for it (§4.2).
+      suspect_ = e;
+      if (self() == group_.successor_of(e)) {
+        send_no_decision(now);
+        if (self() == group_.predecessor_of(e)) {
+          // Two-member group: the ND ring is just us, so the election
+          // closes immediately (the ND still gives a live suspect the
+          // chance to resend its last control message).
+          close_single_failure_election(now);
+          break;
+        }
+        set_state(GcState::one_failure_send);
+        expect_next(succ_active(self()), now);
+      } else {
+        set_state(GcState::one_failure_receive);
+        expect_next(group_.successor_of(e), now);
+        // An ND that raced ahead of our own timeout may already be here
+        // (it must be from THIS episode, i.e. newer than the freshest
+        // decision).
+        const ProcessId pa = pred_active(self());
+        const auto& info = nd_infos_[pa];
+        if (info.ts > last_decision_ts_ &&
+            now - info.ts <= cfg_.staleness_bound(n_) &&
+            info.suspect == suspect_) {
+          if (self() == group_.predecessor_of(suspect_)) {
+            close_single_failure_election(now);
+          } else {
+            send_no_decision(now);
+            set_state(GcState::one_failure_send);
+            expect_next(succ_active(self()), now);
+          }
+        }
+      }
+      break;
+    }
+    case GcState::wrong_suspicion:
+    case GcState::one_failure_receive:
+    case GcState::one_failure_send:
+      // A second failure within the episode: multiple-failure election.
+      enter_n_failure(now);
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decision handling (also the heart of decider rotation)
+// ---------------------------------------------------------------------------
+
+void TimewheelNode::handle_decision(ProcessId from, bcast::Decision d) {
+  const auto now_opt = sync_now();
+  if (!now_opt) return;
+  const sim::ClockTime now = *now_opt;
+  if (!accept_control(from, d.send_ts, d.alive, now)) return;
+  if (d.send_ts <= last_decision_ts_) return;  // we know something fresher
+
+  // Fail-aware lateness rejection (§3): a decision older than δ + ε + σ was
+  // sent by a process that is not Δ-stable towards us; acting on it (in
+  // particular assuming the decider role from it) could create a second
+  // decider. The one exception is the wrong-suspicion masking path: the
+  // CURRENT suspect resending its last decision must be heard.
+  // Bound: transit δ + scheduling σ + twice the clock deviation ε (the
+  // receiver may sit at +ε and the sender at -ε of real time, and a freshly
+  // resynchronized clock can be at the envelope's edge), doubled for σ as
+  // well. Must stay below the 2D wrong-suspicion resend window it exists to
+  // discriminate against (2D = 2·big_d; defaults: 59ms < 100ms).
+  const bool from_suspect = suspect_ != kNoProcess && from == suspect_;
+  const bool late = now - d.send_ts >
+                    cfg_.delta + 2 * (clock_.epsilon() + cfg_.sigma);
+  if (late && !from_suspect) return;
+
+  last_decision_ts_ = d.send_ts;
+  last_decision_no_ = d.decision_no;
+  last_decider_ = d.decider;
+
+  // Election messages may be used at most once (§4.2): any no-decision or
+  // reconfiguration older than the freshest decision belongs to a resolved
+  // episode and must never feed a later election.
+  for (auto& info : nd_infos_)
+    if (info.ts >= 0 && info.ts <= d.send_ts) info = ElectionInfo{};
+  for (auto& info : recon_infos_)
+    if (info.valid && info.msg.send_ts <= d.send_ts) info = ReconInfo{};
+
+  const bool member = d.group.contains(self());
+
+  // Zombie guard: a process that crashed and recovered BEFORE the group
+  // detected the crash is still listed as a member, but its replica state
+  // is gone. In join state we therefore accept membership only when this
+  // decision integrates us (state transfer coming), or when the group was
+  // genuinely formed by the join protocol we participated in (every member
+  // sent join messages within the last cycles). Otherwise we stay in the
+  // join state, silent, until the group removes us and re-integrates us
+  // with a state transfer.
+  if (state_ == GcState::join && d.group.contains(self()) &&
+      !d.joiners.contains(self())) {
+    bool fresh_formation = false;
+    for (const auto& e : d.oal.entries()) {
+      if (e.kind == bcast::OalEntry::Kind::membership && e.gid == d.gid &&
+          e.members == d.group &&
+          now - e.ts <= 2 * slots_.cycle_len()) {
+        fresh_formation = true;
+        break;
+      }
+    }
+    if (fresh_formation) {
+      for (ProcessId m : d.group) {
+        if (m == self() || m == d.decider) continue;
+        if (join_infos_[m].ts < 0 ||
+            now - join_infos_[m].ts > 2 * slots_.cycle_len()) {
+          fresh_formation = false;
+          break;
+        }
+      }
+    }
+    if (!fresh_formation) {
+      // Remember the freshest group for the continuity rule and adopt the
+      // oal knowledge (we already advanced last_decision_ts_ above — a
+      // node whose timestamp is fresh but whose ordinal knowledge is stale
+      // would defeat the join protocol's knowledge rule and could later
+      // extend an outdated branch). We still do not JOIN the group.
+      gid_ = d.gid;
+      group_ = d.group;
+      installed_ = true;
+      delivery_.adopt_oal(d.oal);
+      run_delivery(now);
+      return;
+    }
+  }
+
+  // Membership bookkeeping.
+  if (!installed_ || d.gid != gid_) {
+    if (member) {
+      install_view(d.gid, d.group, now, d.joiners.contains(self()));
+    } else {
+      handle_exclusion(d, from, now);
+      return;
+    }
+  } else if (!member) {
+    handle_exclusion(d, from, now);
+    return;
+  }
+
+  // Exclusion-wait bookkeeping (we may re-enter while waiting).
+  awaiting_exit_decisions_ = false;
+
+  // Broadcast bookkeeping.
+  delivery_.adopt_oal(d.oal);
+  run_delivery(now);
+  request_missing(now, from);
+
+  // FSM transitions on a fresh decision (Figure 2: D edges). A decision
+  // arriving from the CURRENT SUSPECT (its original transmission was late,
+  // or it resent it in response to a no-decision) means we no longer
+  // concur with the suspicion: it leads to wrong-suspicion, and it never
+  // confers the decider role — the no-decision ring we already fed may be
+  // electing a decider, and a second one must not arise (§4.2).
+  if (from_suspect) {
+    switch (state_) {
+      case GcState::one_failure_receive:
+      case GcState::one_failure_send:
+        set_state(GcState::wrong_suspicion);
+        break;
+      default:
+        break;  // wrong-suspicion stays; others unaffected
+    }
+    return;
+  }
+
+  switch (state_) {
+    case GcState::join:
+      ep_.trace(TraceKind::joined, d.gid);
+      suspect_ = kNoProcess;
+      set_state(GcState::failure_free);
+      break;
+    case GcState::failure_free:
+      suspect_ = kNoProcess;
+      break;
+    case GcState::wrong_suspicion:
+      suspect_ = kNoProcess;
+      set_state(GcState::failure_free);
+      break;
+    case GcState::one_failure_receive:
+      suspect_ = kNoProcess;
+      set_state(GcState::failure_free);
+      break;
+    case GcState::one_failure_send:
+      suspect_ = kNoProcess;
+      set_state(GcState::failure_free);
+      break;
+    case GcState::n_failure:
+      suspect_ = kNoProcess;
+      n_failure_since_ = -1;
+      sent_nd_this_episode_ = false;
+      set_state(GcState::failure_free);
+      break;
+    case GcState::desync:
+      return;  // shouldn't happen (no sync_now), defensive
+  }
+
+  // Decider rotation: "the next group member in the cyclical order assumes
+  // the decider role on receiving this decision message" (§2).
+  expected_decider_ = succ_active(d.decider);
+  if (expected_decider_ == self()) {
+    assume_decider_role(now);
+  } else {
+    i_am_decider_ = false;
+    cancel_timer(decision_timer_);
+    expect_next(expected_decider_, d.send_ts);
+  }
+}
+
+void TimewheelNode::handle_exclusion(const bcast::Decision& d, ProcessId from,
+                                     sim::ClockTime now) {
+  // Keep knowledge of the freshest group even though we are not in it
+  // (needed by reconfiguration condition (4) and by the join protocol).
+  gid_ = d.gid;
+  group_ = d.group;
+  installed_ = true;
+  ++stats_.exclusions;
+  ep_.trace(TraceKind::excluded, d.gid, 0, d.group);
+  // Also keep the oal knowledge (ordinal bindings, ack state): an excluded
+  // process that later rejoins or wins an election must never re-order a
+  // proposal the group already bound. Deliveries this triggers are the
+  // §3-sanctioned divergence of a non-member and are superseded by the
+  // state transfer at re-integration.
+  delivery_.adopt_oal(d.oal);
+  run_delivery(now);
+
+  if (state_ == GcState::n_failure) {
+    // Delayed switch to join: "it waits until it has received a decision
+    // message from all new group members" so it can still participate in a
+    // quick follow-up election (§4.2).
+    if (!awaiting_exit_decisions_) {
+      awaiting_exit_decisions_ = true;
+      exit_decisions_needed_ = d.group;
+    }
+    exit_decisions_needed_.erase(from);
+    exit_decisions_needed_.erase(d.decider);
+    if (exit_decisions_needed_.empty()) {
+      awaiting_exit_decisions_ = false;
+      n_failure_since_ = -1;
+      set_state(GcState::join);
+      for (auto& j : join_infos_) j = JoinInfo{};
+    }
+    return;
+  }
+  if (state_ != GcState::join) {
+    i_am_decider_ = false;
+    suspect_ = kNoProcess;
+    cancel_timer(decision_timer_);
+    fd_.clear_expectation();
+    cancel_timer(fd_timer_);
+    set_state(GcState::join);
+    for (auto& j : join_infos_) j = JoinInfo{};
+  }
+}
+
+void TimewheelNode::assume_decider_role(sim::ClockTime now) {
+  (void)now;
+  if (i_am_decider_) return;
+  i_am_decider_ = true;
+  fd_.clear_expectation();
+  cancel_timer(fd_timer_);
+  ep_.trace(TraceKind::decider_assumed, gid_, last_decision_no_ + 1);
+  const bool prompt =
+      decision_pending_work_ || !delivery_.missing().empty();
+  schedule_decision(prompt ? cfg_.proposal_batch_delay
+                           : cfg_.effective_decision_delay());
+}
+
+void TimewheelNode::schedule_decision(sim::Duration delay) {
+  const auto now = sync_now();
+  if (!now) return;
+  arm_sync_timer(decision_timer_, *now + delay, [this] {
+    const auto t = sync_now();
+    if (t) send_decision(*t);
+  });
+}
+
+void TimewheelNode::order_pending_proposals(bcast::Oal& oal,
+                                            sim::ClockTime now) {
+  for (const bcast::Proposal* p : delivery_.unordered_proposals(
+           group_, now, /*gap_grace=*/slots_.cycle_len(),
+           /*max_age=*/slots_.cycle_len())) {
+    if (oal.contains(p->id)) continue;
+    TW_DEBUG("p" << self() << " orders " << p->id.proposer << "."
+                 << p->id.seq << " at " << oal.next_ordinal());
+    // Seed the acknowledgement set with the decider alone. An ack asserts
+    // "holds the update AND has seen its ordinal binding": crediting the
+    // proposer here would let the entry become stable (and be purged)
+    // before the proposer ever learned the binding — it would then
+    // re-order its own proposal at a second ordinal.
+    util::ProcessSet initial;
+    initial.insert(self());
+    oal.append_update(*p, initial);
+  }
+}
+
+std::vector<ProcessId> TimewheelNode::try_integrate_joiners(
+    sim::ClockTime now) {
+  std::vector<ProcessId> added;
+  const util::ProcessSet alive = fd_.alive_list(now);
+  for (ProcessId j : alive.minus(group_)) {
+    // "Let the current member q be the successor of p in the next group g
+    // ... When q becomes the decider and if all group members have included
+    // p in their alive-list, q creates a new group g that includes p."
+    util::ProcessSet next_group = group_;
+    next_group.insert(j);
+    if (next_group.successor_of(j) != self()) continue;
+    bool seen_by_all = true;
+    for (ProcessId m : group_) {
+      if (m == self()) continue;
+      if (!fd_.peer_alive_list(m).contains(j) ||
+          fd_.peer_alive_age(m, now) > slots_.cycle_len()) {
+        seen_by_all = false;
+        break;
+      }
+    }
+    if (seen_by_all) added.push_back(j);
+  }
+  return added;
+}
+
+void TimewheelNode::send_decision(sim::ClockTime now) {
+  if (!i_am_decider_ || !in_group()) return;
+  decision_pending_work_ = false;
+
+  bcast::Oal oal = delivery_.view(now);
+
+  // Integrate joiners (a membership descriptor plus a state transfer).
+  const std::vector<ProcessId> joiners = try_integrate_joiners(now);
+  util::ProcessSet joiner_set;
+  if (!joiners.empty()) {
+    for (ProcessId j : joiners) {
+      group_.insert(j);
+      joiner_set.insert(j);
+    }
+    gid_ = std::max(gid_ + 1,
+                    static_cast<GroupId>(now / cfg_.slot_len()));
+    oal.append_membership(gid_, group_, now);
+    install_view(gid_, group_, now);
+    ep_.trace(TraceKind::group_created, gid_, 0, group_);
+  }
+
+  order_pending_proposals(oal, now);
+  oal.purge_stable(group_, now, cfg_.deliver_delay, slots_.cycle_len());
+
+  bcast::Decision d;
+  d.gid = gid_;
+  d.group = group_;
+  d.decision_no = ++last_decision_no_;
+  d.decider = self();
+  d.send_ts = std::max(now, last_decision_ts_ + 1);
+  d.alive = fd_.alive_list(now);
+  d.joiners = joiner_set;
+  d.oal = std::move(oal);
+
+  auto bytes = d.encode();
+  last_control_sent_ = bytes;
+  ep_.broadcast(std::move(bytes));
+  ++decisions_sent_;
+  ++stats_.decisions_sent;
+  ep_.trace(TraceKind::decision_sent, gid_, d.decision_no);
+
+  // Self-adoption: the decider is also a member.
+  last_decision_ts_ = d.send_ts;
+  last_decider_ = self();
+  delivery_.adopt_oal(d.oal);
+  run_delivery(now);
+
+  // Relinquish the role; survey the successor.
+  i_am_decider_ = false;
+  expected_decider_ = group_.successor_of(self());
+  expect_next(expected_decider_, d.send_ts);
+
+  // State transfer to freshly integrated joiners (paper §4.2).
+  for (ProcessId j : joiners) send_state_transfer(j, d.send_ts);
+}
+
+void TimewheelNode::send_state_transfer(ProcessId to,
+                                        sim::ClockTime send_ts) {
+  ++stats_.state_transfers_sent;
+  StateTransfer st;
+  st.gid = gid_;
+  st.send_ts = send_ts;
+  if (app_.get_state) st.app_state = app_.get_state();
+  const bcast::Oal& window = delivery_.adopted();
+  for (const auto& e : window.entries()) {
+    if (e.kind != bcast::OalEntry::Kind::update || e.undeliverable)
+      continue;
+    if (const bcast::Proposal* p = delivery_.get(e.pid))
+      st.proposals.push_back(*p);
+  }
+  st.oal = window;
+  st.marks = delivery_.export_transfer_marks();
+  ep_.send(to, st.encode());
+}
+
+void TimewheelNode::handle_state_request(ProcessId from) {
+  const auto now = sync_now();
+  if (!now || !in_group()) return;
+  // A (re)joiner lost its state transfer; any member can re-supply it.
+  send_state_transfer(from, *now);
+}
+
+// ---------------------------------------------------------------------------
+// Proposals
+// ---------------------------------------------------------------------------
+
+ProposalSeq TimewheelNode::propose(std::vector<std::byte> payload,
+                                   bcast::Order order,
+                                   bcast::Atomicity atomicity) {
+  bcast::Proposal p;
+  p.id = bcast::ProposalId{self(), next_seq_++};
+  p.order = order;
+  p.atomicity = atomicity;
+  p.payload = std::move(payload);
+
+  const auto now = sync_now();
+  if (now && in_group()) {
+    p.hdo = delivery_.highest_known_ordinal();
+    p.send_ts = *now;
+    delivery_.note_proposal(p, *now);
+    ++stats_.proposals_sent;
+    ep_.trace(TraceKind::proposal_sent, p.id.seq);
+    ep_.broadcast(bcast::encode_proposal(p));
+    run_delivery(*now);
+    if (i_am_decider_) {
+      decision_pending_work_ = true;
+      schedule_decision(cfg_.proposal_batch_delay);
+    }
+  } else {
+    pending_proposals_.push_back(std::move(p));
+  }
+  return static_cast<ProposalSeq>(next_seq_ - 1);
+}
+
+void TimewheelNode::flush_pending_proposals(sim::ClockTime now) {
+  while (!pending_proposals_.empty()) {
+    bcast::Proposal p = std::move(pending_proposals_.front());
+    pending_proposals_.pop_front();
+    p.hdo = delivery_.highest_known_ordinal();
+    p.send_ts = now;
+    delivery_.note_proposal(p, now);
+    ++stats_.proposals_sent;
+    ep_.trace(TraceKind::proposal_sent, p.id.seq);
+    ep_.broadcast(bcast::encode_proposal(p));
+  }
+}
+
+void TimewheelNode::handle_proposal(ProcessId from, bcast::Proposal p) {
+  const auto now_opt = sync_now();
+  if (!now_opt) return;
+  if (p.id.proposer != from && delivery_.have(p.id))
+    return;  // relayed retransmission of something we hold
+  delivery_.note_proposal(p, *now_opt);
+  run_delivery(*now_opt);
+  if (i_am_decider_) {
+    decision_pending_work_ = true;
+    schedule_decision(cfg_.proposal_batch_delay);
+  }
+}
+
+void TimewheelNode::handle_retransmit_request(ProcessId from,
+                                              bcast::RetransmitRequest rq) {
+  for (const auto& pid : rq.wanted) {
+    if (const bcast::Proposal* p = delivery_.get(pid))
+      ep_.send(from, bcast::encode_proposal(*p));
+  }
+}
+
+void TimewheelNode::request_missing(sim::ClockTime now, ProcessId hint) {
+  (void)now;
+  retransmit_hint_ = hint;
+  if (delivery_.missing().empty()) {
+    cancel_timer(retransmit_timer_);
+    return;
+  }
+  if (retransmit_timer_ != net::kNoTimer) return;  // already scheduled
+  retransmit_timer_ = ep_.set_timer_after(cfg_.delta, [this] {
+    retransmit_timer_ = net::kNoTimer;
+    const auto missing = delivery_.missing();
+    if (missing.empty()) return;
+    ++stats_.retransmit_requests_sent;
+    bcast::RetransmitRequest rq;
+    rq.wanted = missing;
+    ProcessId target = retransmit_hint_;
+    if (target == kNoProcess || target == self() ||
+        !group_.contains(target))
+      target = group_.successor_of(self());
+    if (target != kNoProcess && target != self())
+      ep_.send(target, rq.encode());
+    // Back off and retry while something is still missing.
+    retransmit_timer_ = ep_.set_timer_after(2 * cfg_.delta, [this] {
+      retransmit_timer_ = net::kNoTimer;
+      const auto t = sync_now();
+      if (t) request_missing(*t, kNoProcess);
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Single-failure election (no-decision ring)
+// ---------------------------------------------------------------------------
+
+void TimewheelNode::send_no_decision(sim::ClockTime now) {
+  NoDecision nd;
+  nd.suspect = suspect_;
+  nd.gid = gid_;
+  nd.send_ts = std::max(now, fd_.last_ts_from(self()) + 1);
+  nd.last_decision_ts = last_decision_ts_;
+  nd.alive = fd_.alive_list(now);
+  nd.view = delivery_.view(now);
+  nd.dpd = delivery_.dpd();
+
+  // Paper §4.3: mark the suspect's unreceived proposals undeliverable for
+  // one cycle.
+  delivery_.mark_suspect_sender(suspect_, now + slots_.cycle_len());
+  sent_nd_this_episode_ = true;
+
+  ++stats_.no_decisions_sent;
+  nd_infos_[self()] =
+      ElectionInfo{nd.view, nd.dpd, nd.send_ts, nd.suspect};
+
+  auto bytes = nd.encode();
+  last_control_sent_ = bytes;
+  ep_.broadcast(std::move(bytes));
+}
+
+void TimewheelNode::handle_no_decision(ProcessId from, NoDecision nd) {
+  const auto now_opt = sync_now();
+  if (!now_opt) return;
+  const sim::ClockTime now = *now_opt;
+  if (!accept_control(from, nd.send_ts, nd.alive, now)) return;
+  // A no-decision older than the freshest decision belongs to an episode
+  // that a decision already resolved; it must not feed a new election.
+  if (nd.send_ts <= last_decision_ts_) return;
+
+  nd_infos_[from] = ElectionInfo{nd.view, nd.dpd, nd.send_ts, nd.suspect};
+
+  if (!in_group() || !group_.contains(from)) return;
+
+  switch (state_) {
+    case GcState::failure_free: {
+      if (from != expected_decider_) return;  // not part of our surveillance
+      suspect_ = nd.suspect;
+      if (last_decision_ts_ > nd.last_decision_ts) {
+        // We hold a decision the suspecter missed: we do NOT concur —
+        // wrong suspicion (§4.2). Only this branch may lead to the
+        // become-decider-from-current-knowledge path; a member whose
+        // knowledge is no fresher than the suspecter's must never take the
+        // decider role from stale state.
+        set_state(GcState::wrong_suspicion);
+        if (suspect_ == self() && !last_control_sent_.empty()) {
+          // "If p itself is suspected, it resends its last control message
+          // after the receipt of each no-decision message."
+          ep_.broadcast(last_control_sent_);
+        }
+        expect_next(succ_active(from), nd.send_ts);
+        // The ND ring may already have reached our predecessor.
+        if (from == pred_active(self()) && suspect_ != self())
+          become_decider_wrong_suspicion(now);
+      } else {
+        // We concur (our FD just had not fired yet): join the no-decision
+        // ring exactly as if our own timeout had raised the suspicion.
+        if (from == pred_active(self())) {
+          if (self() == group_.predecessor_of(suspect_)) {
+            set_state(GcState::one_failure_receive);
+            close_single_failure_election(now);
+          } else {
+            send_no_decision(now);
+            set_state(GcState::one_failure_send);
+            expect_next(succ_active(self()), now);
+          }
+        } else {
+          set_state(GcState::one_failure_receive);
+          expect_next(succ_active(from), nd.send_ts);
+        }
+      }
+      break;
+    }
+    case GcState::wrong_suspicion: {
+      if (nd.suspect != suspect_) {
+        enter_n_failure(now);  // conflicting suspicions: multiple failures
+        return;
+      }
+      if (suspect_ == self() && !last_control_sent_.empty())
+        ep_.broadcast(last_control_sent_);
+      if (from == pred_active(self()) && suspect_ != self()) {
+        become_decider_wrong_suspicion(now);
+      } else {
+        expect_next(succ_active(from), nd.send_ts);
+      }
+      break;
+    }
+    case GcState::one_failure_receive: {
+      if (nd.suspect != suspect_) {
+        enter_n_failure(now);
+        return;
+      }
+      if (from == pred_active(self())) {
+        if (self() == group_.predecessor_of(suspect_)) {
+          close_single_failure_election(now);
+        } else {
+          send_no_decision(now);
+          set_state(GcState::one_failure_send);
+          expect_next(succ_active(self()), now);
+        }
+      } else {
+        expect_next(succ_active(from), nd.send_ts);
+      }
+      break;
+    }
+    case GcState::one_failure_send: {
+      if (nd.suspect != suspect_) {
+        enter_n_failure(now);
+        return;
+      }
+      // Stay; follow the ring with the FD.
+      expect_next(succ_active(from), nd.send_ts);
+      break;
+    }
+    default:
+      break;  // join / n-failure / desync ignore NDs
+  }
+}
+
+void TimewheelNode::become_decider_wrong_suspicion(sim::ClockTime now) {
+  // "p will create a decision message using the information it has received
+  // from q's last decision" — the group is unchanged; the suspicion was a
+  // false alarm and service continues uninterrupted.
+  suspect_ = kNoProcess;
+  set_state(GcState::failure_free);
+  i_am_decider_ = true;
+  ep_.trace(TraceKind::decider_assumed, gid_, last_decision_no_ + 1);
+  send_decision(now);
+}
+
+void TimewheelNode::close_single_failure_election(sim::ClockTime now) {
+  const int majority = n_ / 2 + 1;
+  if (group_.size() - 1 >= majority) {
+    // Remove the suspect and take the decider role.
+    util::ProcessSet members = group_;
+    members.erase(suspect_);
+    std::vector<bcast::ProposalId> dpds;
+    for (ProcessId m : members) {
+      const auto& info = nd_infos_[m];
+      if (info.ts >= 0 && now - info.ts <= cfg_.staleness_bound(n_))
+        dpds.insert(dpds.end(), info.dpd.begin(), info.dpd.end());
+    }
+    create_group(members, util::ProcessSet{suspect_}, std::move(dpds), {},
+                 now);
+  } else {
+    // Exactly a majority left: a smaller group is not allowed; run the
+    // multiple-failure election, which can re-admit the suspect if it is
+    // actually alive (§4.2).
+    enter_n_failure(now);
+    send_reconfiguration(now, /*abstain=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Group creation (single-failure close, reconfiguration win, initial join)
+// ---------------------------------------------------------------------------
+
+void TimewheelNode::create_group(util::ProcessSet members,
+                                 util::ProcessSet departed,
+                                 std::vector<bcast::ProposalId> extra_dpds,
+                                 const std::vector<ProcessId>& joiners,
+                                 sim::ClockTime now) {
+  TW_ASSERT(members.contains(self()));
+
+  // Merge the views received from the other new members so ack knowledge is
+  // complete before classifying lost proposals.
+  bcast::Oal merged = delivery_.view(now);
+  for (ProcessId m : members) {
+    if (m == self()) continue;
+    const auto& nd = nd_infos_[m];
+    if (nd.ts >= 0 && now - nd.ts <= cfg_.staleness_bound(n_))
+      merged.merge_acks_from(nd.view);
+    const auto& rc = recon_infos_[m];
+    if (rc.valid && now - rc.msg.send_ts <= cfg_.staleness_bound(n_)) {
+      merged.merge_acks_from(rc.msg.view);
+      extra_dpds.insert(extra_dpds.end(), rc.msg.dpd.begin(),
+                        rc.msg.dpd.end());
+    }
+  }
+
+  RepairResult repaired;
+  if (!departed.empty() || !extra_dpds.empty()) {
+    repaired = repair_oal(RepairInput{std::move(merged), members, departed,
+                                      std::move(extra_dpds), now});
+  } else {
+    repaired.oal = std::move(merged);
+  }
+
+  if (gid_ == 0 && repaired.oal.empty() && repaired.oal.base() == 0) {
+    // A team forming with no surviving knowledge (initial start, or
+    // re-forming after every member's knowledge was lost): seed the ordinal
+    // space from the synchronized clock so it cannot collide with a
+    // previous epoch's ordinals.
+    repaired.oal.reset_base(static_cast<Ordinal>(now));
+  }
+
+  // Group ids must be unique across epochs even when no process carries the
+  // previous epoch's counter: take them from the slot index, which is
+  // monotone in synchronized time and distinct per creator slot.
+  ++stats_.groups_created;
+  gid_ = std::max(gid_ + 1,
+                  static_cast<GroupId>(now / cfg_.slot_len()));
+  group_ = members;
+  repaired.oal.append_membership(gid_, group_, now);
+  ep_.trace(TraceKind::group_created, gid_,
+            static_cast<std::uint64_t>(repaired.total_marked()), group_);
+  install_view(gid_, group_, now);
+
+  suspect_ = kNoProcess;
+  sent_nd_this_episode_ = false;
+  n_failure_since_ = -1;
+  set_state(GcState::failure_free);
+
+  if (!departed.empty()) delivery_.drop_unordered_from(departed);
+  delivery_.adopt_oal(repaired.oal);
+
+  // Send the first decision of the new group.
+  order_pending_proposals(repaired.oal, now);
+  bcast::Decision d;
+  d.gid = gid_;
+  d.group = group_;
+  d.decision_no = ++last_decision_no_;
+  d.decider = self();
+  d.send_ts = std::max(now, last_decision_ts_ + 1);
+  d.alive = fd_.alive_list(now);
+  for (ProcessId j : joiners) d.joiners.insert(j);
+  d.oal = std::move(repaired.oal);
+
+  auto bytes = d.encode();
+  last_control_sent_ = bytes;
+  ep_.broadcast(std::move(bytes));
+  ++decisions_sent_;
+  ++stats_.decisions_sent;
+  ep_.trace(TraceKind::decision_sent, gid_, d.decision_no);
+
+  last_decision_ts_ = d.send_ts;
+  last_decider_ = self();
+  delivery_.adopt_oal(d.oal);
+  run_delivery(now);
+
+  i_am_decider_ = false;
+  expected_decider_ = group_.successor_of(self());
+  expect_next(expected_decider_, d.send_ts);
+
+  for (ProcessId j : joiners) send_state_transfer(j, d.send_ts);
+}
+
+// ---------------------------------------------------------------------------
+// Multiple-failure election (slotted reconfiguration)
+// ---------------------------------------------------------------------------
+
+void TimewheelNode::enter_n_failure(sim::ClockTime now) {
+  if (state_ == GcState::n_failure) return;
+  set_state(GcState::n_failure);
+  n_failure_since_ = now;
+  i_am_decider_ = false;
+  cancel_timer(decision_timer_);
+  fd_.clear_expectation();
+  cancel_timer(fd_timer_);
+  my_recon_ts_ = -1;
+  my_recon_list_.clear();
+  if (sent_nd_this_episode_) {
+    // One election per cycle: having already backed a single-failure
+    // election, abstain for N-1 slots (§4.2).
+    abstain_until_ = now + (n_ - 1) * cfg_.slot_len();
+  }
+}
+
+void TimewheelNode::send_reconfiguration(sim::ClockTime now, bool abstain) {
+  Reconfiguration r;
+  r.send_ts = std::max(now, fd_.last_ts_from(self()) + 1);
+  if (!abstain) {
+    const std::int64_t slot = slots_.slot_index(now);
+    r.recon_list = current_recon_list(slot);
+    my_recon_ts_ = r.send_ts;
+    my_recon_list_ = r.recon_list;
+  }
+  if (!abstain) ++stats_.reconfigurations_sent;
+  r.last_decision_ts = last_decision_ts_;
+  r.last_gid = gid_;
+  r.last_group = group_;
+  r.alive = fd_.alive_list(now);
+  r.view = delivery_.view(now);
+  r.dpd = delivery_.dpd();
+
+  auto bytes = r.encode();
+  last_control_sent_ = bytes;
+  ep_.broadcast(std::move(bytes));
+}
+
+util::ProcessSet TimewheelNode::current_recon_list(std::int64_t slot) const {
+  util::ProcessSet list;
+  list.insert(self());
+  for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+    if (q == self() || !recon_infos_[q].valid) continue;
+    const std::int64_t sent_slot =
+        slots_.slot_index(std::max<sim::ClockTime>(0,
+            recon_infos_[q].msg.send_ts));
+    if (slot - sent_slot <= n_ - 1 && sent_slot < slot) list.insert(q);
+  }
+  return list;
+}
+
+void TimewheelNode::reconfiguration_slot_duties(sim::ClockTime now,
+                                                std::int64_t slot) {
+  if (awaiting_exit_decisions_) return;  // excluded; just wait
+  if (abstain_until_ >= 0 && now < abstain_until_) {
+    send_reconfiguration(now, /*abstain=*/true);
+    return;
+  }
+  abstain_until_ = -1;
+
+  // Try to create a new group from the reconfiguration messages gathered
+  // since our previous (non-abstaining) reconfiguration (§4.2).
+  if (my_recon_ts_ >= 0 && installed_ && group_.contains(self())) {
+    util::ProcessSet support;
+    support.insert(self());
+    for (ProcessId q : my_recon_list_) {
+      if (q == self()) continue;
+      const auto& info = recon_infos_[q];
+      if (!info.valid || info.msg.abstaining()) continue;
+      if (!slots_.in_last_slot_of(q, info.msg.send_ts, slot)) continue;
+      if (!(info.msg.recon_list == my_recon_list_)) continue;
+      if (info.msg.last_decision_ts > last_decision_ts_) continue;
+      if (!group_.contains(q)) continue;  // condition (4)
+      support.insert(q);
+    }
+    if (support.is_majority_of(n_) && support.subset_of(group_)) {
+      create_group(support, group_.minus(support), {}, {}, now);
+      return;
+    }
+  }
+
+  send_reconfiguration(now, /*abstain=*/false);
+}
+
+void TimewheelNode::handle_reconfiguration(ProcessId from,
+                                           Reconfiguration r) {
+  const auto now_opt = sync_now();
+  if (!now_opt) return;
+  const sim::ClockTime now = *now_opt;
+  if (!accept_control(from, r.send_ts, r.alive, now)) return;
+
+  recon_infos_[from] = ReconInfo{std::move(r), true};
+
+  switch (state_) {
+    case GcState::failure_free:
+    case GcState::wrong_suspicion:
+    case GcState::one_failure_receive:
+    case GcState::one_failure_send:
+      // "if p receives a reconfiguration message from the expected sender,
+      // it switches to n-failure state" (§4.2).
+      if (from == fd_.expected_sender()) enter_n_failure(now);
+      break;
+    default:
+      break;  // n-failure accumulates; join/desync ignore
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Join protocol
+// ---------------------------------------------------------------------------
+
+void TimewheelNode::send_join(sim::ClockTime now) {
+  Join j;
+  j.send_ts = std::max(now, fd_.last_ts_from(self()) + 1);
+  j.join_list = current_join_list(slots_.slot_index(now));
+  j.last_decision_ts = last_decision_ts_;
+  join_infos_[self()] = JoinInfo{j.join_list, j.send_ts, last_decision_ts_};
+  auto bytes = j.encode();
+  last_control_sent_ = bytes;
+  ep_.broadcast(std::move(bytes));
+}
+
+util::ProcessSet TimewheelNode::current_join_list(std::int64_t slot) const {
+  util::ProcessSet list;
+  list.insert(self());
+  for (ProcessId q = 0; q < static_cast<ProcessId>(n_); ++q) {
+    if (q == self() || join_infos_[q].ts < 0) continue;
+    const std::int64_t sent_slot = slots_.slot_index(
+        std::max<sim::ClockTime>(0, join_infos_[q].ts));
+    if (slot - sent_slot <= n_ - 1) list.insert(q);
+  }
+  return list;
+}
+
+void TimewheelNode::join_slot_duties(sim::ClockTime now, std::int64_t slot) {
+  const util::ProcessSet my_list = current_join_list(slot);
+  // Continuity rule (the join analogue of reconfiguration condition (4)):
+  // if we know of a previous group, a re-formed group must contain a
+  // majority OF THAT GROUP — otherwise the members holding its latest
+  // history may be absent and their completed-majority history would be
+  // orphaned (forked ordinals). Fresh processes are unconstrained.
+  if (installed_ && !group_.empty()) {
+    const auto carried = my_list.intersect(group_);
+    if (2 * carried.size() <= group_.size()) {
+      send_join(now);
+      return;
+    }
+  }
+  // Completeness rule: every process we still hear from (our alive-list)
+  // must be part of the join dance before we may form a group. A live
+  // process outside the dance — say, wedged in an n-failure election — may
+  // hold a fresher completed-majority history than anyone here; once its
+  // fallback brings it to the join protocol, the knowledge rule below puts
+  // it in charge. A genuinely dead process ages out of the alive-list
+  // within N slots and stops blocking.
+  if (!fd_.alive_list(now).subset_of(my_list)) {
+    send_join(now);
+    return;
+  }
+  // Initial group formation (§4.2 join state): become the decider when a
+  // majority agrees on identical join-lists, each confirmed in its sender's
+  // last slot.
+  if (my_list.is_majority_of(n_)) {
+    bool all_confirm = true;
+    std::vector<ProcessId> stale_joiners;
+    for (ProcessId q : my_list) {
+      if (q == self()) continue;
+      const auto& info = join_infos_[q];
+      if (info.ts < 0 || !slots_.in_last_slot_of(q, info.ts, slot) ||
+          !(info.list == my_list) ||
+          // Knowledge rule: the first decider must hold the freshest
+          // replica history among the forming group, so nothing a member
+          // knows about is silently lost and stale members can be brought
+          // up to date with a state transfer.
+          info.last_decision_ts > last_decision_ts_) {
+        all_confirm = false;
+        break;
+      }
+      if (info.last_decision_ts < last_decision_ts_)
+        stale_joiners.push_back(q);
+    }
+    if (all_confirm) {
+      create_group(my_list, {}, {}, stale_joiners, now);
+      return;
+    }
+  }
+  send_join(now);
+}
+
+void TimewheelNode::handle_join(ProcessId from, Join j) {
+  const auto now_opt = sync_now();
+  if (!now_opt) return;
+  const sim::ClockTime now = *now_opt;
+  if (!accept_control(from, j.send_ts, j.join_list, now)) return;
+  join_infos_[from] = JoinInfo{j.join_list, j.send_ts, j.last_decision_ts};
+  // Group members see the joiner through the FD's alive-list; the right
+  // decider will integrate it (§4.2). Nothing else to do here.
+}
+
+// ---------------------------------------------------------------------------
+// State transfer & view installation
+// ---------------------------------------------------------------------------
+
+void TimewheelNode::handle_state_transfer(ProcessId from, StateTransfer st) {
+  (void)from;
+  const auto now_opt = sync_now();
+  if (!now_opt) return;
+  const sim::ClockTime now = *now_opt;
+  ++stats_.state_transfers_received;
+  TW_DEBUG("p" << self() << " state transfer: " << st.proposals.size()
+               << " proposals, " << st.marks.ordered_below.size()
+               << " ordered-below marks");
+  if (app_.set_state) app_.set_state(st.app_state);
+  // The transferred state already reflects these deliveries/orderings;
+  // import the marks BEFORE buffering proposals so nothing is delivered or
+  // ordered twice.
+  delivery_.import_transfer_marks(st.marks);
+  // Deliveries buffered while waiting for this transfer may already be in
+  // the transferred application state: reconcile the buffer against the
+  // marks before flushing it.
+  std::erase_if(buffered_deliveries_, [&st](const auto& entry) {
+    const auto& [p, ordinal] = entry;
+    if (ordinal != kNoOrdinal && ordinal < st.marks.delivered_below)
+      return true;
+    for (const auto& pid : st.marks.delivered)
+      if (pid == p.id) return true;
+    // An early (weak+unordered) delivery buffered without an ordinal may
+    // nevertheless be ordered below the transferrer's cursor — i.e. it is
+    // already part of the transferred state. The per-proposer ordered
+    // marks cover exactly that case.
+    for (const auto& [proposer, seq] : st.marks.ordered_below)
+      if (proposer == p.id.proposer && p.id.seq <= seq) return true;
+    return false;
+  });
+  for (const auto& p : st.proposals) delivery_.note_proposal(p, now);
+  delivery_.adopt_oal(st.oal);
+  if (awaiting_state_) {
+    awaiting_state_ = false;
+    cancel_timer(state_wait_timer_);
+    flush_buffered_deliveries();
+  }
+  run_delivery(now);
+}
+
+void TimewheelNode::install_view(GroupId gid, util::ProcessSet members,
+                                 sim::ClockTime now,
+                                 bool expect_state_transfer) {
+  const bool was_member = installed_ && group_.contains(self());
+  gid_ = gid;
+  group_ = members;
+  installed_ = true;
+  ++stats_.views_installed;
+  ep_.trace(TraceKind::view_installed, gid, 0, members);
+  if (app_.view_change) app_.view_change(gid, members);
+
+  if (!was_member && members.contains(self())) {
+    if (expect_state_transfer && state_ == GcState::join) {
+      // Joining a pre-existing group: hold application deliveries until the
+      // state transfer has installed the base state (or a timeout passes —
+      // the integrating decider may have crashed right after deciding).
+      awaiting_state_ = true;
+      state_request_retries_ = 0;
+      arm_sync_timer(state_wait_timer_, now + slots_.cycle_len(),
+                     [this] { retry_state_request(); });
+    }
+    flush_pending_proposals(now);
+  }
+}
+
+void TimewheelNode::retry_state_request() {
+  if (!awaiting_state_) return;
+  const auto now = sync_now();
+  if (!now) return;
+  if (state_request_retries_ >= 5 || !in_group()) {
+    TW_WARN("p" << self() << ": state transfer still missing after "
+                << state_request_retries_ << " requests; giving up");
+    awaiting_state_ = false;
+    flush_buffered_deliveries();
+    return;
+  }
+  ++state_request_retries_;
+  // Ask a current member (round-robin around the ring) to re-supply it.
+  ProcessId target = group_.successor_of(self());
+  for (int i = 1; i < state_request_retries_; ++i)
+    target = group_.successor_of(target);
+  if (target != kNoProcess && target != self()) {
+    util::ByteWriter w;
+    w.u8(net::kind_byte(net::MsgKind::state_request));
+    ep_.send(target, std::move(w).take());
+  }
+  arm_sync_timer(state_wait_timer_, *now + slots_.cycle_len(),
+                 [this] { retry_state_request(); });
+}
+
+void TimewheelNode::deliver_to_app(const bcast::Proposal& p,
+                                   Ordinal ordinal) {
+  ep_.trace(TraceKind::delivered, ordinal, p.id.proposer,
+            util::ProcessSet{},
+            std::to_string(p.id.proposer) + "." + std::to_string(p.id.seq));
+  if (awaiting_state_) {
+    buffered_deliveries_.emplace_back(p, ordinal);
+    return;
+  }
+  if (app_.deliver) app_.deliver(p, ordinal);
+}
+
+void TimewheelNode::flush_buffered_deliveries() {
+  for (auto& [p, o] : buffered_deliveries_)
+    if (app_.deliver) app_.deliver(p, o);
+  buffered_deliveries_.clear();
+}
+
+void TimewheelNode::run_delivery(sim::ClockTime now) {
+  delivery_.try_deliver(now, group_);
+  delivery_.purge_undeliverable();
+  const sim::ClockTime next = delivery_.next_release(now);
+  if (next != sim::kNever)
+    arm_sync_timer(delivery_timer_, next, [this] {
+      const auto t = sync_now();
+      if (t) run_delivery(*t);
+    });
+}
+
+}  // namespace tw::gms

@@ -1,0 +1,286 @@
+// TimewheelNode — one team member's complete timewheel group communication
+// stack: fail-aware clock synchronization, the timewheel atomic broadcast
+// engine, and the timewheel group membership protocol (failure detector +
+// group creator, paper §4). This is the library's public facade; bind one
+// node per team member to a net::Endpoint (simulated or UDP) and drive it
+// through propose()/callbacks.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bcast/delivery.hpp"
+#include "bcast/messages.hpp"
+#include "clocksync/clock_sync.hpp"
+#include "gms/config.hpp"
+#include "gms/failure_detector.hpp"
+#include "gms/messages.hpp"
+#include "gms/slots.hpp"
+#include "gms/state.hpp"
+#include "net/transport.hpp"
+
+namespace tw::gms {
+
+/// Application-facing callbacks. All optional.
+struct AppCallbacks {
+  /// An update became deliverable. `ordinal` is kNoOrdinal when the update
+  /// was delivered early (weak atomicity + unordered order).
+  std::function<void(const bcast::Proposal&, Ordinal ordinal)> deliver;
+  /// A new group (view) was installed at this member.
+  std::function<void(GroupId, util::ProcessSet members)> view_change;
+  /// Retrieve the application state for transfer to a joiner (paper §4.2:
+  /// the integrating decider "retrieves its application state by calling a
+  /// dedicated function provided by the application").
+  std::function<std::vector<std::byte>()> get_state;
+  /// Install transferred application state on a joiner.
+  std::function<void(std::span<const std::byte>)> set_state;
+};
+
+/// Operational counters exposed by a node (monotone since the last
+/// on_start; useful for dashboards and asserted in tests).
+struct NodeStats {
+  std::uint64_t decisions_sent = 0;
+  std::uint64_t proposals_sent = 0;
+  std::uint64_t views_installed = 0;
+  std::uint64_t suspicions_raised = 0;      ///< own FD timeouts
+  std::uint64_t no_decisions_sent = 0;
+  std::uint64_t reconfigurations_sent = 0;  ///< non-abstaining
+  std::uint64_t groups_created = 0;         ///< elections we closed
+  std::uint64_t wrong_suspicions = 0;       ///< wrong-suspicion entries
+  std::uint64_t state_transfers_sent = 0;
+  std::uint64_t state_transfers_received = 0;
+  std::uint64_t retransmit_requests_sent = 0;
+  std::uint64_t exclusions = 0;             ///< times we were voted out
+};
+
+class TimewheelNode final : public net::Handler {
+ public:
+  TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg, AppCallbacks app);
+
+  // net::Handler -------------------------------------------------------
+  void on_start() override;
+  void on_datagram(ProcessId from, std::span<const std::byte> data) override;
+
+  // Public API ---------------------------------------------------------
+  /// Broadcast an update with the given semantics. Returns the proposal's
+  /// sequence number. Proposals made before the node is a group member are
+  /// queued and sent on join.
+  ProposalSeq propose(std::vector<std::byte> payload,
+                      bcast::Order order = bcast::Order::total,
+                      bcast::Atomicity atomicity = bcast::Atomicity::weak);
+
+  // Introspection ------------------------------------------------------
+  [[nodiscard]] ProcessId self() const { return ep_.self(); }
+  [[nodiscard]] GcState state() const { return state_; }
+  [[nodiscard]] bool in_group() const {
+    return installed_ && group_.contains(self());
+  }
+  [[nodiscard]] GroupId group_id() const { return gid_; }
+  [[nodiscard]] util::ProcessSet group() const { return group_; }
+  /// The member this node believes currently holds (or is next to take)
+  /// the decider role.
+  [[nodiscard]] ProcessId believed_decider() const { return expected_decider_; }
+  [[nodiscard]] bool has_decider_role() const { return i_am_decider_; }
+  [[nodiscard]] std::uint64_t decisions_sent() const { return decisions_sent_; }
+  [[nodiscard]] std::uint64_t delivered_count() const {
+    return delivery_.delivered_count();
+  }
+  [[nodiscard]] csync::ClockSync& clock() { return clock_; }
+  [[nodiscard]] const bcast::DeliveryEngine& delivery() const {
+    return delivery_;
+  }
+  [[nodiscard]] const FailureDetector& failure_detector() const { return fd_; }
+  [[nodiscard]] const NodeConfig& config() const { return cfg_; }
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+
+ private:
+  // --- clock helpers ----------------------------------------------------
+  [[nodiscard]] std::optional<sim::ClockTime> sync_now() {
+    return clock_.now();
+  }
+  /// Arm `timer` to fire when the synchronized clock reads >= target; the
+  /// callback re-checks and re-arms if the clock ran slow.
+  void arm_sync_timer(net::TimerId& timer, sim::ClockTime target,
+                      std::function<void()> fn);
+  void cancel_timer(net::TimerId& timer);
+
+  // --- state machine ------------------------------------------------------
+  void set_state(GcState next);
+  void full_reset();
+  void on_clock_sync_change(bool synchronized);
+
+  // --- message handlers ----------------------------------------------------
+  void handle_decision(ProcessId from, bcast::Decision d);
+  void handle_proposal(ProcessId from, bcast::Proposal p);
+  void handle_no_decision(ProcessId from, NoDecision nd);
+  void handle_join(ProcessId from, Join j);
+  void handle_reconfiguration(ProcessId from, Reconfiguration r);
+  void handle_state_transfer(ProcessId from, StateTransfer st);
+  void handle_state_request(ProcessId from);
+  void send_state_transfer(ProcessId to, sim::ClockTime send_ts);
+  void handle_retransmit_request(ProcessId from, bcast::RetransmitRequest rq);
+
+  /// Shared control-message preamble: staleness + duplicate filtering, FD
+  /// and alive bookkeeping. Returns false if the message must be ignored.
+  bool accept_control(ProcessId from, sim::ClockTime send_ts,
+                      util::ProcessSet alive, sim::ClockTime now);
+
+  // --- FD surveillance -------------------------------------------------
+  /// Point the FD at `sender` (skipping the current suspect), due 2D after
+  /// base_ts, and arm the timer.
+  void expect_next(ProcessId sender, sim::ClockTime base_ts);
+  void on_fd_timeout();
+  /// Successor/predecessor in the current group's ring, skipping the
+  /// currently suspected process.
+  [[nodiscard]] ProcessId succ_active(ProcessId p) const;
+  [[nodiscard]] ProcessId pred_active(ProcessId p) const;
+
+  // --- slot machinery ---------------------------------------------------
+  void arm_slot_timer();
+  void on_own_slot();
+  void on_housekeeping();
+
+  // --- join state --------------------------------------------------------
+  void join_slot_duties(sim::ClockTime now, std::int64_t slot);
+  [[nodiscard]] util::ProcessSet current_join_list(std::int64_t slot) const;
+  void send_join(sim::ClockTime now);
+
+  // --- n-failure state ------------------------------------------------
+  void enter_n_failure(sim::ClockTime now);
+  void reconfiguration_slot_duties(sim::ClockTime now, std::int64_t slot);
+  void send_reconfiguration(sim::ClockTime now, bool abstain);
+  [[nodiscard]] util::ProcessSet current_recon_list(std::int64_t slot) const;
+
+  // --- elections / group creation ------------------------------------
+  void send_no_decision(sim::ClockTime now);
+  void close_single_failure_election(sim::ClockTime now);
+  void become_decider_wrong_suspicion(sim::ClockTime now);
+  /// Create a new group as decider: repair the oal, install, send the
+  /// first decision (and state transfers to joiners).
+  void create_group(util::ProcessSet members, util::ProcessSet departed,
+                    std::vector<bcast::ProposalId> extra_dpds,
+                    const std::vector<ProcessId>& joiners,
+                    sim::ClockTime now);
+
+  // --- decider duties ---------------------------------------------------
+  void assume_decider_role(sim::ClockTime now);
+  void schedule_decision(sim::Duration delay);
+  void send_decision(sim::ClockTime now);
+  /// Order pending proposals into the oal (FIFO per sender).
+  void order_pending_proposals(bcast::Oal& oal, sim::ClockTime now);
+  /// Integrate a joiner if this decider is its successor and everyone has
+  /// seen it (paper §4.2). Returns the joiners added.
+  std::vector<ProcessId> try_integrate_joiners(sim::ClockTime now);
+
+  // --- membership install / delivery ----------------------------------
+  void install_view(GroupId gid, util::ProcessSet members,
+                    sim::ClockTime now, bool expect_state_transfer = false);
+  void handle_exclusion(const bcast::Decision& d, ProcessId from,
+                        sim::ClockTime now);
+  void deliver_to_app(const bcast::Proposal& p, Ordinal ordinal);
+  void retry_state_request();
+  void flush_buffered_deliveries();
+  void run_delivery(sim::ClockTime now);
+  void flush_pending_proposals(sim::ClockTime now);
+  void request_missing(sim::ClockTime now, ProcessId hint);
+
+  void trace_state_change(GcState from, GcState to);
+
+  // ---------------------------------------------------------------------
+  net::Endpoint& ep_;
+  NodeConfig cfg_;
+  AppCallbacks app_;
+  int n_;  ///< team size N
+  SlotMap slots_;
+
+  csync::ClockSync clock_;
+  FailureDetector fd_;
+  bcast::DeliveryEngine delivery_;
+
+  GcState state_ = GcState::join;
+
+  // Group bookkeeping.
+  bool installed_ = false;
+  GroupId gid_ = 0;
+  util::ProcessSet group_;
+  ProcessId suspect_ = kNoProcess;
+
+  // Freshest decision we know.
+  sim::ClockTime last_decision_ts_ = -1;
+  std::uint64_t last_decision_no_ = 0;
+  ProcessId last_decider_ = kNoProcess;
+
+  // Decider-role tracking.
+  bool i_am_decider_ = false;
+  ProcessId expected_decider_ = kNoProcess;
+  std::uint64_t decisions_sent_ = 0;
+  /// Pending proposals exist (send decision promptly).
+  bool decision_pending_work_ = false;
+
+  // Own proposals.
+  ProposalSeq next_seq_ = 0;
+  std::deque<bcast::Proposal> pending_proposals_;  ///< queued until member
+
+  // Last control message we broadcast (for wrong-suspicion resends).
+  std::vector<std::byte> last_control_sent_;
+
+  // Join machinery.
+  struct JoinInfo {
+    util::ProcessSet list;
+    sim::ClockTime ts = -1;
+    sim::ClockTime last_decision_ts = -1;
+  };
+  std::vector<JoinInfo> join_infos_;
+
+  // Reconfiguration machinery.
+  struct ReconInfo {
+    Reconfiguration msg;
+    bool valid = false;
+  };
+  std::vector<ReconInfo> recon_infos_;
+  sim::ClockTime my_recon_ts_ = -1;      ///< ts of last non-abstaining recon
+  util::ProcessSet my_recon_list_;       ///< list sent with it
+  sim::ClockTime abstain_until_ = -1;    ///< one-election-per-cycle rule
+  bool sent_nd_this_episode_ = false;
+
+  // Views/dpds collected from no-decision messages (for oal repair).
+  struct ElectionInfo {
+    bcast::Oal view;
+    std::vector<bcast::ProposalId> dpd;
+    sim::ClockTime ts = -1;
+    ProcessId suspect = kNoProcess;
+  };
+  std::vector<ElectionInfo> nd_infos_;
+
+  // Delayed switch to join (n-failure exclusion, paper §4.2).
+  bool awaiting_exit_decisions_ = false;
+  util::ProcessSet exit_decisions_needed_;
+
+  // Joiner-side state transfer: buffer app deliveries between installing a
+  // pre-existing group's view and receiving the state-transfer message.
+  bool awaiting_state_ = false;
+  std::vector<std::pair<bcast::Proposal, Ordinal>> buffered_deliveries_;
+  net::TimerId state_wait_timer_ = net::kNoTimer;
+  int state_request_retries_ = 0;
+
+  // Watchdog for the join fallback (see NodeConfig::join_fallback_cycles).
+  sim::ClockTime n_failure_since_ = -1;
+
+  bool ever_started_ = false;
+  NodeStats stats_;
+
+  // Timers.
+  net::TimerId slot_timer_ = net::kNoTimer;
+  net::TimerId fd_timer_ = net::kNoTimer;
+  net::TimerId decision_timer_ = net::kNoTimer;
+  net::TimerId delivery_timer_ = net::kNoTimer;
+  net::TimerId housekeeping_timer_ = net::kNoTimer;
+  net::TimerId retransmit_timer_ = net::kNoTimer;
+  ProcessId retransmit_hint_ = kNoProcess;
+};
+
+}  // namespace tw::gms

@@ -1,0 +1,67 @@
+// Message-kind tags. The first byte of every datagram on the wire is one of
+// these values, so the simulated network can account messages per kind
+// (experiment E1) and stacks can demultiplex before full decoding.
+#pragma once
+
+#include <cstdint>
+
+namespace tw::net {
+
+enum class MsgKind : std::uint8_t {
+  invalid = 0,
+
+  // Clock synchronization service (tw::csync).
+  clocksync_request = 1,
+  clocksync_reply = 2,
+
+  // Timewheel atomic broadcast (tw::bcast).
+  proposal = 8,
+  decision = 9,
+  retransmit_request = 10,
+
+  // Timewheel group membership (tw::gms).
+  no_decision = 16,
+  join = 17,
+  reconfiguration = 18,
+  state_transfer = 19,
+  state_request = 20,
+
+  // Baseline membership protocols (tw::baseline).
+  heartbeat = 32,
+  view_proposal = 33,
+  view_ack = 34,
+  view_commit = 35,
+  attendance_token = 36,
+
+  // Application-level payloads used by the examples.
+  app = 64,
+};
+
+[[nodiscard]] constexpr const char* msg_kind_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::invalid: return "invalid";
+    case MsgKind::clocksync_request: return "clocksync_request";
+    case MsgKind::clocksync_reply: return "clocksync_reply";
+    case MsgKind::proposal: return "proposal";
+    case MsgKind::decision: return "decision";
+    case MsgKind::retransmit_request: return "retransmit_request";
+    case MsgKind::no_decision: return "no_decision";
+    case MsgKind::join: return "join";
+    case MsgKind::reconfiguration: return "reconfiguration";
+    case MsgKind::state_transfer: return "state_transfer";
+    case MsgKind::state_request: return "state_request";
+    case MsgKind::heartbeat: return "heartbeat";
+    case MsgKind::view_proposal: return "view_proposal";
+    case MsgKind::view_ack: return "view_ack";
+    case MsgKind::view_commit: return "view_commit";
+    case MsgKind::attendance_token: return "attendance_token";
+    case MsgKind::app: return "app";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::uint8_t kind_byte(MsgKind k) {
+  return static_cast<std::uint8_t>(k);
+}
+
+}  // namespace tw::net

@@ -1,0 +1,60 @@
+#include "net/sim_transport.hpp"
+
+namespace tw::net {
+
+int SimEndpoint::team_size() const { return cluster_.size(); }
+
+sim::ClockTime SimEndpoint::hw_now() const {
+  return cluster_.procs_.hw_now(id_);
+}
+
+void SimEndpoint::broadcast(std::vector<std::byte> data) {
+  cluster_.net_.broadcast(id_, std::move(data));
+}
+
+void SimEndpoint::send(ProcessId to, std::vector<std::byte> data) {
+  cluster_.net_.send(id_, to, std::move(data));
+}
+
+TimerId SimEndpoint::set_timer_at_hw(sim::ClockTime target,
+                                     std::function<void()> fn) {
+  return cluster_.procs_.set_timer_at_hw(id_, target, std::move(fn));
+}
+
+TimerId SimEndpoint::set_timer_after(sim::Duration d,
+                                     std::function<void()> fn) {
+  return cluster_.procs_.set_timer_after(id_, d, std::move(fn));
+}
+
+void SimEndpoint::cancel_timer(TimerId id) {
+  cluster_.procs_.cancel_timer(id);
+}
+
+void SimEndpoint::trace(sim::TraceKind kind, std::uint64_t a, std::uint64_t b,
+                        util::ProcessSet set, std::string note) {
+  cluster_.trace_.add(sim::TraceRecord{cluster_.sim_.now(), id_, kind, a, b,
+                                       set, std::move(note)});
+}
+
+SimCluster::SimCluster(const SimClusterConfig& cfg)
+    : sim_(cfg.seed),
+      procs_(sim_, cfg.n, cfg.sched, cfg.rho, cfg.max_clock_offset),
+      net_(sim_, procs_, cfg.delays),
+      faults_(sim_, procs_, net_) {
+  endpoints_.reserve(static_cast<std::size_t>(cfg.n));
+  for (ProcessId p = 0; p < static_cast<ProcessId>(cfg.n); ++p)
+    endpoints_.push_back(std::make_unique<SimEndpoint>(*this, p));
+}
+
+void SimCluster::bind(ProcessId p, Handler& handler) {
+  procs_.install(
+      p, sim::ProcessService::Callbacks{
+             [&handler] { handler.on_start(); },
+             [&handler](ProcessId from, std::vector<std::byte> payload) {
+               handler.on_datagram(from, payload);
+             }});
+}
+
+void SimCluster::start() { procs_.start_all(); }
+
+}  // namespace tw::net

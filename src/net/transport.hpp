@@ -1,0 +1,70 @@
+// Transport abstraction: the boundary between protocol stacks and their
+// environment.
+//
+// A protocol stack is a net::Handler; everything it can do to the outside
+// world goes through a net::Endpoint. Two implementations exist:
+//   - SimCluster / SimEndpoint: the discrete-event simulator (deterministic,
+//     fault-injectable — used by tests and benchmarks), and
+//   - UdpCluster / UdpEndpoint: real UDP sockets driven by the event-handler
+//     framework of paper §5 (used by the udp_cluster example).
+// Protocol code is identical under both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+#include "util/process_set.hpp"
+#include "util/types.hpp"
+
+namespace tw::net {
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kNoTimer = 0;
+
+/// A protocol stack bound to one team member.
+class Handler {
+ public:
+  virtual ~Handler() = default;
+  /// Called on initial start and again after every crash recovery; the
+  /// stack must reset itself to its initial (join) state.
+  virtual void on_start() = 0;
+  virtual void on_datagram(ProcessId from, std::span<const std::byte> data) = 0;
+};
+
+/// The environment one team member's stack runs in.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  [[nodiscard]] virtual ProcessId self() const = 0;
+  [[nodiscard]] virtual int team_size() const = 0;
+
+  /// Local hardware clock (unsynchronized, bounded drift).
+  [[nodiscard]] virtual sim::ClockTime hw_now() const = 0;
+
+  /// Datagram to every other team member (the sender does not loop back).
+  virtual void broadcast(std::vector<std::byte> data) = 0;
+  virtual void send(ProcessId to, std::vector<std::byte> data) = 0;
+
+  /// Fire when the local HARDWARE clock reads >= target.
+  virtual TimerId set_timer_at_hw(sim::ClockTime target,
+                                  std::function<void()> fn) = 0;
+  /// Fire after (approximately) real duration d.
+  virtual TimerId set_timer_after(sim::Duration d,
+                                  std::function<void()> fn) = 0;
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Structured tracing; no-op outside the simulator unless overridden.
+  virtual void trace(sim::TraceKind kind, std::uint64_t a = 0,
+                     std::uint64_t b = 0, util::ProcessSet set = {},
+                     std::string note = {}) {
+    (void)kind; (void)a; (void)b; (void)set; (void)note;
+  }
+};
+
+}  // namespace tw::net

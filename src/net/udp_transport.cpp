@@ -1,0 +1,185 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/bytes.hpp"
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+
+namespace tw::net {
+
+namespace {
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+}  // namespace
+
+UdpEndpoint::UdpEndpoint(UdpCluster& cluster, ProcessId id)
+    : cluster_(cluster),
+      id_(id),
+      clock_offset_(static_cast<sim::ClockTime>(id) *
+                    cluster.cfg_.clock_offset_step),
+      drop_state_(cluster.cfg_.drop_seed + id * 0x9e3779b97f4a7c15ULL + 1) {
+  open_socket();
+}
+
+UdpEndpoint::~UdpEndpoint() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpEndpoint::open_socket() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  TW_ASSERT_MSG(fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port =
+      htons(static_cast<std::uint16_t>(cluster_.cfg_.base_port + id_));
+  const int rc =
+      ::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  TW_ASSERT_MSG(rc == 0, "bind() failed for member " << id_);
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  loop_.watch_fd(fd_, [this] { on_readable(); });
+}
+
+int UdpEndpoint::team_size() const { return cluster_.size(); }
+
+sim::ClockTime UdpEndpoint::hw_now() const {
+  return evl::EventLoop::mono_now_us() + clock_offset_;
+}
+
+std::vector<std::byte> UdpEndpoint::frame(
+    std::span<const std::byte> payload) const {
+  util::ByteWriter body;
+  body.u32(id_);
+  util::ByteWriter out;
+  std::vector<std::byte> rest = std::move(body).take();
+  rest.insert(rest.end(), payload.begin(), payload.end());
+  out.u32(util::crc32c(rest));
+  std::vector<std::byte> framed = std::move(out).take();
+  framed.insert(framed.end(), rest.begin(), rest.end());
+  return framed;
+}
+
+void UdpEndpoint::send_raw(ProcessId to, const std::vector<std::byte>& f) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port =
+      htons(static_cast<std::uint16_t>(cluster_.cfg_.base_port + to));
+  ::sendto(fd_, f.data(), f.size(), 0,
+           reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+}
+
+void UdpEndpoint::broadcast(std::vector<std::byte> data) {
+  const auto f = frame(data);
+  for (ProcessId to = 0; to < static_cast<ProcessId>(team_size()); ++to)
+    if (to != id_) send_raw(to, f);
+}
+
+void UdpEndpoint::send(ProcessId to, std::vector<std::byte> data) {
+  send_raw(to, frame(data));
+}
+
+TimerId UdpEndpoint::set_timer_at_hw(sim::ClockTime target,
+                                     std::function<void()> fn) {
+  // hw clock = mono + offset, so the mono deadline is target - offset.
+  return loop_.add_timer_at(target - clock_offset_, std::move(fn));
+}
+
+TimerId UdpEndpoint::set_timer_after(sim::Duration d,
+                                     std::function<void()> fn) {
+  return loop_.add_timer_after(d, std::move(fn));
+}
+
+void UdpEndpoint::cancel_timer(TimerId id) { loop_.cancel_timer(id); }
+
+void UdpEndpoint::on_readable() {
+  std::byte buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) return;  // EWOULDBLOCK or error: nothing more to read
+    if (cluster_.crashed_[id_].load(std::memory_order_relaxed)) continue;
+    if (n < 8) continue;  // runt
+    if (cluster_.cfg_.drop_prob > 0.0) {
+      const double u = static_cast<double>(xorshift(drop_state_) >> 11) *
+                       0x1.0p-53;
+      if (u < cluster_.cfg_.drop_prob) continue;  // injected omission
+    }
+    const std::span<const std::byte> frame_bytes(buf, static_cast<size_t>(n));
+    util::ByteReader header(frame_bytes.subspan(0, 4));
+    const std::uint32_t crc = header.u32();
+    if (crc != util::crc32c(frame_bytes.subspan(4))) {
+      TW_WARN("udp member " << id_ << ": CRC mismatch, dropping datagram");
+      continue;
+    }
+    util::ByteReader sender_reader(frame_bytes.subspan(4, 4));
+    const ProcessId from = sender_reader.u32();
+    if (from >= static_cast<ProcessId>(team_size()) || from == id_) continue;
+    if (handler_ != nullptr) handler_->on_datagram(from, frame_bytes.subspan(8));
+  }
+}
+
+UdpCluster::UdpCluster(const UdpClusterConfig& cfg)
+    : cfg_(cfg), crashed_(static_cast<std::size_t>(cfg.n)) {
+  TW_ASSERT(cfg.n > 0 && cfg.n <= 64);
+  for (auto& c : crashed_) c.store(false);
+  for (ProcessId p = 0; p < static_cast<ProcessId>(cfg.n); ++p)
+    endpoints_.push_back(std::make_unique<UdpEndpoint>(*this, p));
+}
+
+UdpCluster::~UdpCluster() { stop(); }
+
+void UdpCluster::bind(ProcessId p, Handler& handler) {
+  endpoints_.at(p)->handler_ = &handler;
+}
+
+void UdpCluster::start() {
+  TW_ASSERT(!running_.load());
+  running_.store(true);
+  for (ProcessId p = 0; p < static_cast<ProcessId>(cfg_.n); ++p) {
+    threads_.emplace_back([this, p] {
+      auto& ep = *endpoints_[p];
+      if (ep.handler_ != nullptr) ep.handler_->on_start();
+      while (running_.load(std::memory_order_relaxed))
+        ep.loop_.poll_once(sim::msec(50));
+    });
+  }
+}
+
+void UdpCluster::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+  threads_.clear();
+}
+
+void UdpCluster::post(ProcessId p, std::function<void()> fn) {
+  endpoints_.at(p)->loop_.post(std::move(fn));
+}
+
+void UdpCluster::crash(ProcessId p) {
+  crashed_.at(p).store(true, std::memory_order_relaxed);
+}
+
+void UdpCluster::recover(ProcessId p) {
+  crashed_.at(p).store(false, std::memory_order_relaxed);
+  auto& ep = *endpoints_.at(p);
+  if (ep.handler_ != nullptr)
+    ep.loop_.post([&ep] { ep.handler_->on_start(); });
+}
+
+}  // namespace tw::net

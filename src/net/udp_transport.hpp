@@ -1,0 +1,110 @@
+// Real-network transport: every team member owns a UDP socket bound to
+// 127.0.0.1:<base_port + id> and an event-based demultiplexer (paper §5)
+// running on its own OS thread. Protocol stacks run unmodified on top.
+//
+// Wire format per datagram: [u32 crc32c of rest][u32 sender id][payload],
+// payload being exactly what the stack handed to broadcast()/send() (first
+// payload byte = MsgKind). Datagrams failing the CRC are dropped, preserving
+// the datagram service's omission-failure semantics.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "evl/event_loop.hpp"
+#include "net/transport.hpp"
+
+namespace tw::net {
+
+struct UdpClusterConfig {
+  int n = 3;
+  std::uint16_t base_port = 47000;
+  /// Synthetic per-member hardware-clock offset spread (µs); members get
+  /// offset i * clock_offset_step so the clock-sync service has real skew
+  /// to correct even on one host.
+  sim::ClockTime clock_offset_step = sim::msec(200);
+  /// Artificial drop probability applied on receive, to exercise failure
+  /// paths over loopback (loopback itself never drops).
+  double drop_prob = 0.0;
+  std::uint64_t drop_seed = 42;
+};
+
+class UdpCluster;
+
+class UdpEndpoint final : public Endpoint {
+ public:
+  UdpEndpoint(UdpCluster& cluster, ProcessId id);
+  ~UdpEndpoint() override;
+  UdpEndpoint(const UdpEndpoint&) = delete;
+  UdpEndpoint& operator=(const UdpEndpoint&) = delete;
+
+  [[nodiscard]] ProcessId self() const override { return id_; }
+  [[nodiscard]] int team_size() const override;
+  [[nodiscard]] sim::ClockTime hw_now() const override;
+  void broadcast(std::vector<std::byte> data) override;
+  void send(ProcessId to, std::vector<std::byte> data) override;
+  TimerId set_timer_at_hw(sim::ClockTime target,
+                          std::function<void()> fn) override;
+  TimerId set_timer_after(sim::Duration d, std::function<void()> fn) override;
+  void cancel_timer(TimerId id) override;
+
+  evl::EventLoop& loop() { return loop_; }
+
+ private:
+  friend class UdpCluster;
+
+  void open_socket();
+  void on_readable();
+  void send_raw(ProcessId to, const std::vector<std::byte>& frame);
+  [[nodiscard]] std::vector<std::byte> frame(
+      std::span<const std::byte> payload) const;
+
+  UdpCluster& cluster_;
+  ProcessId id_;
+  int fd_ = -1;
+  evl::EventLoop loop_;
+  sim::ClockTime clock_offset_ = 0;
+  Handler* handler_ = nullptr;
+  std::uint64_t drop_state_;
+};
+
+class UdpCluster {
+ public:
+  explicit UdpCluster(const UdpClusterConfig& cfg);
+  ~UdpCluster();
+  UdpCluster(const UdpCluster&) = delete;
+  UdpCluster& operator=(const UdpCluster&) = delete;
+
+  [[nodiscard]] int size() const { return cfg_.n; }
+  [[nodiscard]] const UdpClusterConfig& config() const { return cfg_; }
+
+  Endpoint& endpoint(ProcessId p) { return *endpoints_.at(p); }
+  void bind(ProcessId p, Handler& handler);
+
+  /// Spawn one event-loop thread per member and call on_start on-loop.
+  void start();
+  /// Stop all loops and join the threads.
+  void stop();
+
+  /// Run `fn` on member p's loop thread (as a timer at "now"). The cluster
+  /// must be running.
+  void post(ProcessId p, std::function<void()> fn);
+
+  /// Simulated crash: the member stops reacting (loop keeps running but
+  /// drops everything) until recover() re-calls on_start().
+  void crash(ProcessId p);
+  void recover(ProcessId p);
+
+ private:
+  friend class UdpEndpoint;
+
+  UdpClusterConfig cfg_;
+  std::vector<std::unique_ptr<UdpEndpoint>> endpoints_;
+  std::vector<std::thread> threads_;
+  std::vector<std::atomic<bool>> crashed_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace tw::net

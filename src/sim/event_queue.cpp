@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace tw::sim {
+
+EventId EventQueue::schedule(SimTime t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && !handlers_.contains(heap_.top().id)) {
+    // Cancelled tombstone; lazily discarded.
+    const_cast<EventQueue*>(this)->heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? kNever : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  TW_ASSERT(!heap_.empty());
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = handlers_.find(e.id);
+  TW_ASSERT(it != handlers_.end());
+  Fired fired{e.time, std::move(it->second)};
+  handlers_.erase(it);
+  --live_;
+  return fired;
+}
+
+}  // namespace tw::sim

@@ -1,0 +1,61 @@
+// The discrete-event core: a cancellable priority queue of timed callbacks.
+//
+// Events with equal timestamps fire in schedule order (FIFO tie-break via a
+// monotone sequence number) so simulations are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tw::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+class EventQueue {
+ public:
+  /// Enqueue `fn` to run at time `t`. Returns a handle usable with cancel().
+  EventId schedule(SimTime t, std::function<void()> fn);
+
+  /// Cancel a pending event; no-op if it already ran or was cancelled.
+  /// Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Timestamp of the next live event; kNever if empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop the next live event. Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace tw::sim

@@ -1,0 +1,82 @@
+// Scripted fault injection.
+//
+// A FaultScript schedules crash/recover/stall/partition/heal/drop actions at
+// absolute simulation times, turning the failure scenarios of the paper's
+// §4 (single crash, lost decision message, multiple failures, false
+// suspicion) into deterministic, replayable experiments.
+#pragma once
+
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/process_service.hpp"
+#include "sim/simulator.hpp"
+
+namespace tw::sim {
+
+class FaultScript {
+ public:
+  FaultScript(Simulator& simulator, ProcessService& procs,
+              DatagramNetwork& net)
+      : sim_(simulator), procs_(procs), net_(net) {}
+
+  FaultScript& crash_at(SimTime t, ProcessId p) {
+    sim_.at(t, [this, p] { procs_.crash(p); });
+    return *this;
+  }
+
+  FaultScript& recover_at(SimTime t, ProcessId p) {
+    sim_.at(t, [this, p] { procs_.recover(p); });
+    return *this;
+  }
+
+  FaultScript& stall_at(SimTime t, ProcessId p, Duration d) {
+    sim_.at(t, [this, p, d] { procs_.stall(p, d); });
+    return *this;
+  }
+
+  FaultScript& partition_at(SimTime t, std::vector<util::ProcessSet> groups) {
+    sim_.at(t, [this, groups = std::move(groups)] {
+      net_.set_partition(groups);
+    });
+    return *this;
+  }
+
+  FaultScript& heal_at(SimTime t) {
+    sim_.at(t, [this] { net_.heal(); });
+    return *this;
+  }
+
+  FaultScript& isolate_at(SimTime t, ProcessId p, int team_size) {
+    util::ProcessSet rest = util::ProcessSet::full(
+        static_cast<ProcessId>(team_size));
+    rest.erase(p);
+    return partition_at(t, {rest, util::ProcessSet{p}});
+  }
+
+  /// Drop the next `count` datagrams of `kind` sent by `from` towards the
+  /// processes in `to`, starting at time t.
+  FaultScript& drop_at(SimTime t, ProcessId from, std::uint8_t kind,
+                       util::ProcessSet to, int count = 1) {
+    sim_.at(t, [this, from, kind, to, count] {
+      net_.arm_drop(from, kind, to, count);
+    });
+    return *this;
+  }
+
+  /// Delay (past δ) instead of dropping.
+  FaultScript& delay_at(SimTime t, ProcessId from, std::uint8_t kind,
+                        util::ProcessSet to, int count, Duration extra) {
+    sim_.at(t, [this, from, kind, to, count, extra] {
+      net_.arm_delay(from, kind, to, count, extra);
+    });
+    return *this;
+  }
+
+ private:
+  Simulator& sim_;
+  ProcessService& procs_;
+  DatagramNetwork& net_;
+};
+
+}  // namespace tw::sim

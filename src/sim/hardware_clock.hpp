@@ -1,0 +1,51 @@
+// Per-process hardware clock with bounded drift (paper §2).
+//
+// A clock maps real time t to clock time H(t) = offset + (1 + drift)·t with
+// |drift| <= rho. Clocks are NOT synchronized: offsets are arbitrary. The
+// clock synchronization service (tw::csync) builds synchronized clocks on
+// top of these.
+#pragma once
+
+#include <cmath>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace tw::sim {
+
+class HardwareClock {
+ public:
+  HardwareClock() = default;
+  HardwareClock(double drift, ClockTime offset)
+      : drift_(drift), offset_(offset) {}
+
+  /// Clock reading at real time `real`.
+  [[nodiscard]] ClockTime read(SimTime real) const {
+    return offset_ +
+           static_cast<ClockTime>(std::llround(
+               static_cast<double>(real) * (1.0 + drift_)));
+  }
+
+  /// Earliest real time >= `not_before` at which the clock reads >= `c`.
+  /// Used to turn "fire when my clock reads c" into a simulator event.
+  [[nodiscard]] SimTime real_time_of(ClockTime c, SimTime not_before) const {
+    const double raw =
+        static_cast<double>(c - offset_) / (1.0 + drift_);
+    auto real = static_cast<SimTime>(std::ceil(raw));
+    if (real < not_before) real = not_before;
+    while (read(real) < c) ++real;  // guard against rounding
+    // With drift < 0 several real instants map to one reading; step back to
+    // the earliest real time (>= not_before) whose reading reaches c.
+    while (real > not_before && read(real - 1) >= c) --real;
+    return real;
+  }
+
+  [[nodiscard]] double drift() const { return drift_; }
+  [[nodiscard]] ClockTime offset() const { return offset_; }
+
+ private:
+  double drift_ = 0.0;      ///< in [-rho, rho]
+  ClockTime offset_ = 0;
+};
+
+}  // namespace tw::sim

@@ -1,0 +1,33 @@
+// Message accounting for the benchmark harnesses.
+//
+// Every datagram's first byte is a message-kind tag (see net/msg_kind.hpp);
+// the network counts per-kind and per-sender so experiment E1 can verify the
+// paper's "no extra messages during failure-free periods" claim precisely.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace tw::sim {
+
+struct MessageStats {
+  struct Counter {
+    std::uint64_t sent = 0;           ///< send operations × destinations
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_loss = 0;
+    std::uint64_t dropped_link = 0;   ///< partition / forced-down link
+    std::uint64_t dropped_crashed = 0;
+    std::uint64_t dropped_rule = 0;   ///< fault-injection drop rule
+    std::uint64_t late = 0;           ///< delivered with delay > δ
+    std::uint64_t bytes_sent = 0;
+  };
+
+  Counter total;
+  std::array<Counter, 256> by_kind{};
+  std::vector<std::uint64_t> sent_by_process;
+
+  void reset() { *this = MessageStats{}; }
+};
+
+}  // namespace tw::sim

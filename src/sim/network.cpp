@@ -1,0 +1,136 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace tw::sim {
+
+namespace {
+std::uint8_t kind_of(const std::vector<std::byte>& payload) {
+  return payload.empty() ? 0xff : static_cast<std::uint8_t>(payload[0]);
+}
+}  // namespace
+
+DatagramNetwork::DatagramNetwork(Simulator& simulator, ProcessService& procs,
+                                 DelayModel delays)
+    : sim_(simulator), procs_(procs), delays_(delays) {
+  const auto n = static_cast<std::size_t>(procs.size());
+  link_up_.assign(n, std::vector<bool>(n, true));
+  stats_.sent_by_process.assign(n, 0);
+}
+
+bool DatagramNetwork::link_up(ProcessId from, ProcessId to) const {
+  return link_up_[from][to];
+}
+
+void DatagramNetwork::set_link(ProcessId from, ProcessId to, bool up) {
+  link_up_.at(from).at(to) = up;
+}
+
+void DatagramNetwork::set_partition(
+    const std::vector<util::ProcessSet>& groups) {
+  const auto n = static_cast<ProcessId>(procs_.size());
+  auto group_of = [&](ProcessId p) -> int {
+    for (std::size_t g = 0; g < groups.size(); ++g)
+      if (groups[g].contains(p)) return static_cast<int>(g);
+    return -1;  // not in any group: isolated
+  };
+  for (ProcessId a = 0; a < n; ++a)
+    for (ProcessId b = 0; b < n; ++b) {
+      const int ga = group_of(a), gb = group_of(b);
+      link_up_[a][b] = (a == b) || (ga >= 0 && ga == gb);
+    }
+}
+
+void DatagramNetwork::heal() {
+  for (auto& row : link_up_) std::fill(row.begin(), row.end(), true);
+}
+
+void DatagramNetwork::arm_drop(ProcessId from, std::uint8_t kind,
+                               util::ProcessSet to, int count) {
+  rules_.push_back(Rule{from, kind, to, count, 0});
+}
+
+void DatagramNetwork::arm_delay(ProcessId from, std::uint8_t kind,
+                                util::ProcessSet to, int count,
+                                Duration extra) {
+  TW_ASSERT(extra > 0);
+  rules_.push_back(Rule{from, kind, to, count, extra});
+}
+
+DatagramNetwork::Rule* DatagramNetwork::match_rule(ProcessId from,
+                                                   ProcessId to,
+                                                   std::uint8_t kind) {
+  for (auto& r : rules_) {
+    if (r.remaining > 0 && r.from == from && r.kind == kind &&
+        r.to.contains(to)) {
+      --r.remaining;
+      return &r;
+    }
+  }
+  // Garbage-collect exhausted rules occasionally.
+  while (!rules_.empty() && rules_.front().remaining <= 0) rules_.pop_front();
+  return nullptr;
+}
+
+void DatagramNetwork::transmit(ProcessId from, ProcessId to,
+                               const std::vector<std::byte>& payload) {
+  const std::uint8_t kind = kind_of(payload);
+  auto& kc = stats_.by_kind[kind];
+  ++stats_.total.sent;
+  ++kc.sent;
+  stats_.total.bytes_sent += payload.size();
+  kc.bytes_sent += payload.size();
+  ++stats_.sent_by_process[from];
+
+  if (!procs_.is_up(to)) {
+    ++stats_.total.dropped_crashed;
+    ++kc.dropped_crashed;
+    return;
+  }
+  if (!link_up(from, to)) {
+    ++stats_.total.dropped_link;
+    ++kc.dropped_link;
+    return;
+  }
+  Duration delay;
+  if (Rule* rule = match_rule(from, to, kind)) {
+    if (rule->extra_delay == 0) {
+      ++stats_.total.dropped_rule;
+      ++kc.dropped_rule;
+      return;
+    }
+    delay = delays_.delta + rule->extra_delay;  // forced performance failure
+  } else {
+    if (sim_.rng().chance(delays_.loss_prob)) {
+      ++stats_.total.dropped_loss;
+      ++kc.dropped_loss;
+      return;
+    }
+    delay = delays_.sample(sim_.rng());
+  }
+  if (delay > delays_.delta) {
+    ++stats_.total.late;
+    ++kc.late;
+  }
+  sim_.at(sim_.now() + delay,
+          [this, from, to, payload]() mutable {
+            ++stats_.total.delivered;
+            ++stats_.by_kind[kind_of(payload)].delivered;
+            procs_.deliver_datagram(to, from, std::move(payload));
+          });
+}
+
+void DatagramNetwork::broadcast(ProcessId from,
+                                std::vector<std::byte> payload) {
+  const auto n = static_cast<ProcessId>(procs_.size());
+  for (ProcessId to = 0; to < n; ++to)
+    if (to != from) transmit(from, to, payload);
+}
+
+void DatagramNetwork::send(ProcessId from, ProcessId to,
+                           std::vector<std::byte> payload) {
+  TW_ASSERT(to < static_cast<ProcessId>(procs_.size()) && to != from);
+  transmit(from, to, payload);
+}
+
+}  // namespace tw::sim

@@ -1,0 +1,88 @@
+// The simulated asynchronous datagram service (paper §2).
+//
+// Omission/performance failure semantics: a datagram may be lost, may be
+// delivered late (transmission delay > δ), or delivered timely; it is never
+// corrupted, duplicated or misordered by the *model* (reordering still
+// happens naturally because delays are independent per destination).
+// Supports partitions, per-link up/down control and targeted one-shot drop
+// rules for scripted failure scenarios.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "sim/message_stats.hpp"
+#include "sim/process_service.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "util/process_set.hpp"
+#include "util/types.hpp"
+
+namespace tw::sim {
+
+class DatagramNetwork {
+ public:
+  DatagramNetwork(Simulator& simulator, ProcessService& procs,
+                  DelayModel delays);
+
+  /// Send to every other team member (UDP-broadcast style; the sender does
+  /// not receive its own datagram).
+  void broadcast(ProcessId from, std::vector<std::byte> payload);
+
+  /// Point-to-point datagram.
+  void send(ProcessId from, ProcessId to, std::vector<std::byte> payload);
+
+  [[nodiscard]] const DelayModel& delays() const { return delays_; }
+  void set_delays(const DelayModel& m) { delays_ = m; }
+
+  [[nodiscard]] MessageStats& stats() { return stats_; }
+
+  // --- fault injection -----------------------------------------------
+  /// Directional link control; a down link silently drops datagrams.
+  void set_link(ProcessId from, ProcessId to, bool up);
+
+  /// Partition the team: links within each group stay up, all links that
+  /// cross group boundaries go down (both directions).
+  void set_partition(const std::vector<util::ProcessSet>& groups);
+
+  /// All links up again.
+  void heal();
+
+  /// One-shot drop rule: the next `count` datagrams from `from` whose
+  /// kind tag equals `kind` are dropped for the destinations in `to`
+  /// (broadcasts count once per matching destination).
+  void arm_drop(ProcessId from, std::uint8_t kind, util::ProcessSet to,
+                int count);
+
+  /// Make the next `count` matching datagrams late instead of dropped.
+  void arm_delay(ProcessId from, std::uint8_t kind, util::ProcessSet to,
+                 int count, Duration extra);
+
+  /// Disarm every drop/delay rule.
+  void clear_rules() { rules_.clear(); }
+
+ private:
+  struct Rule {
+    ProcessId from;
+    std::uint8_t kind;
+    util::ProcessSet to;
+    int remaining;
+    Duration extra_delay;  ///< 0 = drop, otherwise delay by δ + extra
+  };
+
+  void transmit(ProcessId from, ProcessId to,
+                const std::vector<std::byte>& payload);
+  [[nodiscard]] bool link_up(ProcessId from, ProcessId to) const;
+  /// Returns pointer to a matching armed rule, consuming one count.
+  Rule* match_rule(ProcessId from, ProcessId to, std::uint8_t kind);
+
+  Simulator& sim_;
+  ProcessService& procs_;
+  DelayModel delays_;
+  MessageStats stats_;
+  std::vector<std::vector<bool>> link_up_;  // [from][to]
+  std::deque<Rule> rules_;
+};
+
+}  // namespace tw::sim

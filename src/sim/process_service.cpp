@@ -1,0 +1,119 @@
+#include "sim/process_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tw::sim {
+
+Duration SchedModel::sample(Rng& rng) const {
+  Duration d = min_delay;
+  const double tail_mean =
+      std::max(1.0, static_cast<double>(mean_delay - min_delay));
+  d += static_cast<Duration>(rng.exponential(tail_mean));
+  d = std::min(d, sigma);  // normal reactions are timely
+  if (stall_prob > 0.0 && rng.chance(stall_prob)) {
+    // Performance failure: reaction takes longer than σ.
+    d = sigma + rng.uniform_int(1, std::max<Duration>(1, stall_extra_max));
+  }
+  return d;
+}
+
+ProcessService::ProcessService(Simulator& simulator, int n, SchedModel sched,
+                               double rho, ClockTime max_clock_offset)
+    : sim_(simulator), sched_(sched) {
+  TW_ASSERT(n > 0 && n <= 64);
+  procs_.resize(static_cast<std::size_t>(n));
+  for (auto& proc : procs_) {
+    proc.rng = sim_.rng().split();
+    const double drift = sim_.rng().uniform_real(-rho, rho);
+    const ClockTime offset =
+        max_clock_offset > 0 ? sim_.rng().uniform_int(0, max_clock_offset) : 0;
+    proc.clock = HardwareClock(drift, offset);
+  }
+}
+
+void ProcessService::install(ProcessId p, Callbacks cb) {
+  procs_.at(p).cb = std::move(cb);
+}
+
+void ProcessService::start_all() {
+  for (ProcessId p = 0; p < static_cast<ProcessId>(size()); ++p) {
+    if (procs_[p].cb.on_start)
+      react(p, sim_.now(), [this, p] { procs_[p].cb.on_start(); });
+  }
+}
+
+bool ProcessService::is_up(ProcessId p) const { return procs_.at(p).up; }
+
+int ProcessService::incarnation(ProcessId p) const {
+  return procs_.at(p).incarnation;
+}
+
+const HardwareClock& ProcessService::clock(ProcessId p) const {
+  return procs_.at(p).clock;
+}
+
+ClockTime ProcessService::hw_now(ProcessId p) const {
+  return procs_.at(p).clock.read(sim_.now());
+}
+
+void ProcessService::crash(ProcessId p) {
+  auto& proc = procs_.at(p);
+  if (!proc.up) return;
+  proc.up = false;
+  ++proc.incarnation;  // invalidates pending reactions
+}
+
+void ProcessService::recover(ProcessId p) {
+  auto& proc = procs_.at(p);
+  if (proc.up) return;
+  proc.up = true;
+  ++proc.incarnation;
+  proc.stalled_until = 0;
+  if (proc.cb.on_start) react(p, sim_.now(), [this, p] {
+    procs_[p].cb.on_start();
+  });
+}
+
+void ProcessService::stall(ProcessId p, Duration d) {
+  auto& proc = procs_.at(p);
+  proc.stalled_until = std::max(proc.stalled_until, sim_.now() + d);
+}
+
+EventId ProcessService::react(ProcessId p, SimTime earliest,
+                              std::function<void()> fn) {
+  auto& proc = procs_.at(p);
+  if (!proc.up) return kNoEvent;
+  const int inc = proc.incarnation;
+  SimTime fire = std::max(earliest, sim_.now()) + sched_.sample(proc.rng);
+  fire = std::max(fire, proc.stalled_until);
+  return sim_.at(fire, [this, p, inc, fn = std::move(fn)] {
+    const auto& pr = procs_[p];
+    if (!pr.up || pr.incarnation != inc) return;  // crashed meanwhile
+    fn();
+  });
+}
+
+void ProcessService::deliver_datagram(ProcessId to, ProcessId from,
+                                      std::vector<std::byte> payload) {
+  react(to, sim_.now(),
+        [this, to, from, payload = std::move(payload)]() mutable {
+          if (procs_[to].cb.on_datagram)
+            procs_[to].cb.on_datagram(from, std::move(payload));
+        });
+}
+
+EventId ProcessService::set_timer_at_hw(ProcessId p, ClockTime target,
+                                        std::function<void()> fn) {
+  const SimTime real = procs_.at(p).clock.real_time_of(target, sim_.now());
+  return react(p, real, std::move(fn));
+}
+
+EventId ProcessService::set_timer_after(ProcessId p, Duration d,
+                                        std::function<void()> fn) {
+  return react(p, sim_.now() + d, std::move(fn));
+}
+
+Rng& ProcessService::rng(ProcessId p) { return procs_.at(p).rng; }
+
+}  // namespace tw::sim

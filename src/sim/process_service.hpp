@@ -1,0 +1,102 @@
+// The simulated process-management service (paper §2).
+//
+// Models N processes with crash/performance failure semantics: each process
+// reacts to trigger events (incoming datagrams, timer expiry) after a random
+// scheduling delay that is "likely" at most sigma; injected stalls produce
+// process performance failures (reaction time > sigma). A crashed process
+// drops all triggers; on recovery its incarnation counter bumps, its pending
+// triggers are discarded, and its stack is restarted via on_start().
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/hardware_clock.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace tw::sim {
+
+/// Scheduling-delay model for process reactions.
+struct SchedModel {
+  Duration min_delay = usec(5);
+  Duration mean_delay = usec(30);
+  Duration sigma = msec(5);        ///< maximum scheduling delay σ
+  double stall_prob = 0.0;         ///< probability of a performance failure
+  Duration stall_extra_max = msec(20);
+
+  [[nodiscard]] Duration sample(Rng& rng) const;
+};
+
+class ProcessService {
+ public:
+  struct Callbacks {
+    std::function<void()> on_start;  ///< initial start and every recovery
+    std::function<void(ProcessId from, std::vector<std::byte>)> on_datagram;
+  };
+
+  /// Creates n processes with hardware clocks whose drift is uniform in
+  /// [-rho, rho] and whose offsets are uniform in [0, max_offset].
+  ProcessService(Simulator& simulator, int n, SchedModel sched, double rho,
+                 ClockTime max_clock_offset);
+
+  [[nodiscard]] int size() const { return static_cast<int>(procs_.size()); }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+
+  void install(ProcessId p, Callbacks cb);
+
+  /// Kick off on_start() for every installed process at the current time
+  /// (each behind its own scheduling delay).
+  void start_all();
+
+  [[nodiscard]] bool is_up(ProcessId p) const;
+  [[nodiscard]] int incarnation(ProcessId p) const;
+  [[nodiscard]] const HardwareClock& clock(ProcessId p) const;
+  [[nodiscard]] ClockTime hw_now(ProcessId p) const;
+
+  // --- fault injection -----------------------------------------------
+  void crash(ProcessId p);
+  void recover(ProcessId p);
+  /// Defer all of p's reactions until now + d (a performance failure if
+  /// d > sigma).
+  void stall(ProcessId p, Duration d);
+
+  // --- trigger delivery ----------------------------------------------
+  /// Deliver a datagram to p (called by the network at receive time).
+  void deliver_datagram(ProcessId to, ProcessId from,
+                        std::vector<std::byte> payload);
+
+  /// Fire `fn` when p's HARDWARE clock reads `target` (plus scheduling
+  /// delay). Dropped if p crashes or recovers before firing.
+  EventId set_timer_at_hw(ProcessId p, ClockTime target,
+                          std::function<void()> fn);
+
+  /// Fire `fn` after real duration d (plus scheduling delay).
+  EventId set_timer_after(ProcessId p, Duration d, std::function<void()> fn);
+
+  void cancel_timer(EventId id) { sim_.cancel(id); }
+
+  /// Per-process RNG stream (stable across unrelated draws elsewhere).
+  Rng& rng(ProcessId p);
+
+ private:
+  struct Proc {
+    HardwareClock clock;
+    Callbacks cb;
+    Rng rng{0};
+    bool up = true;
+    int incarnation = 0;
+    SimTime stalled_until = 0;
+  };
+
+  /// Schedule a reaction of p: applies scheduling delay + stall, drops it
+  /// if p is down or reincarnated by fire time.
+  EventId react(ProcessId p, SimTime earliest, std::function<void()> fn);
+
+  Simulator& sim_;
+  SchedModel sched_;
+  std::vector<Proc> procs_;
+};
+
+}  // namespace tw::sim

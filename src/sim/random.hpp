@@ -1,0 +1,66 @@
+// Deterministic random number generation for simulations.
+//
+// xoshiro256** — fast, high quality, and identical across platforms (unlike
+// std::mt19937 + std::distributions, whose stream is implementation-defined
+// for some distributions). Every experiment seeds one Rng, so runs are
+// exactly reproducible from (seed, parameters).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace tw::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponential with the given mean (rate = 1/mean).
+  double exponential(double mean);
+
+  /// A fresh, independently-seeded child generator (for per-process
+  /// streams that stay stable when other components draw numbers).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Samples a one-way network transmission delay. Models the paper's
+/// datagram service: delays are min + exponential tail, truncated so a
+/// "timely" message always arrives within delta; with probability
+/// late_prob the message instead suffers a performance failure and takes
+/// uniform (delta, delta + late_extra_max].
+struct DelayModel {
+  Duration min_delay = usec(200);
+  Duration mean_delay = usec(800);   ///< mean of min + exponential tail
+  Duration delta = msec(10);         ///< one-way timeout delay δ
+  double loss_prob = 0.0;            ///< omission-failure probability
+  double late_prob = 0.0;            ///< performance-failure probability
+  Duration late_extra_max = msec(50);
+
+  [[nodiscard]] Duration sample(Rng& rng) const;
+  /// True iff `d` counts as timely under this model's δ.
+  [[nodiscard]] bool timely(Duration d) const { return d <= delta; }
+};
+
+}  // namespace tw::sim

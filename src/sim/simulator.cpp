@@ -1,0 +1,24 @@
+#include "sim/simulator.hpp"
+
+namespace tw::sim {
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [time, fn] = queue_.pop();
+  TW_ASSERT(time >= now_);
+  now_ = time;
+  fn();
+  return true;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.next_time() <= t) step();
+  if (t > now_) now_ = t;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events && step(); ++i) {
+  }
+}
+
+}  // namespace tw::sim

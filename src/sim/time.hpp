@@ -1,0 +1,38 @@
+// Time base for the timed asynchronous system model.
+//
+// Real time and clock time are both measured in integer microseconds.
+// SimTime is real time as seen by the (omniscient) simulator; ClockTime is
+// what a process reads from a hardware or synchronized clock. They are kept
+// as distinct aliases to make signatures self-documenting; the type system
+// does not enforce the distinction (protocol code frequently mixes durations
+// between the two domains, which is legitimate because drift is bounded).
+#pragma once
+
+#include <cstdint>
+
+namespace tw::sim {
+
+/// Real time, µs since simulation start.
+using SimTime = std::int64_t;
+
+/// A process-local clock reading, µs.
+using ClockTime = std::int64_t;
+
+/// A length of time, µs.
+using Duration = std::int64_t;
+
+inline constexpr Duration usec(std::int64_t n) { return n; }
+inline constexpr Duration msec(std::int64_t n) { return n * 1000; }
+inline constexpr Duration sec(std::int64_t n) { return n * 1000 * 1000; }
+
+inline constexpr double to_ms(Duration d) {
+  return static_cast<double>(d) / 1000.0;
+}
+inline constexpr double to_sec(Duration d) {
+  return static_cast<double>(d) / 1e6;
+}
+
+/// Sentinel "never" timestamp.
+inline constexpr SimTime kNever = INT64_MAX;
+
+}  // namespace tw::sim

@@ -1,0 +1,45 @@
+// Assertion machinery for the timewheel library.
+//
+// TW_ASSERT throws tw::util::AssertionError instead of aborting so that
+// protocol invariant violations are testable with EXPECT_THROW and surface
+// as test failures rather than process death inside long simulation runs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tw::util {
+
+/// Thrown when a TW_ASSERT fails. Carries file/line plus the failed
+/// expression and an optional human-readable detail message.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void assertion_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw AssertionError(os.str());
+}
+
+}  // namespace tw::util
+
+#define TW_ASSERT(expr)                                                     \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::tw::util::assertion_failure(#expr, __FILE__, __LINE__, {});         \
+  } while (false)
+
+#define TW_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream tw_assert_os_;                                     \
+      tw_assert_os_ << msg; /* NOLINT */                                    \
+      ::tw::util::assertion_failure(#expr, __FILE__, __LINE__,              \
+                                    tw_assert_os_.str());                   \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,136 @@
+#include "util/bytes.hpp"
+
+#include <cstring>
+
+namespace tw::util {
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v & 0xff));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v & 0xffff));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v & 0xffffffff));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::var_u64(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::var_i64(std::int64_t v) {
+  const auto uv = static_cast<std::uint64_t>(v);
+  var_u64((uv << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::bytes(std::span<const std::byte> data) {
+  var_u64(data.size());
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::str(std::string_view s) {
+  bytes(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n)
+    throw DecodeError("truncated message: need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(remaining()));
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t ByteReader::u16() {
+  const auto lo = u8();
+  const auto hi = u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint32_t lo = u16();
+  const std::uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t ByteReader::var_u64() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t b = u8();
+    if (shift >= 63 && (b & 0x7f) > 1)
+      throw DecodeError("varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) throw DecodeError("varint too long");
+  }
+}
+
+std::int64_t ByteReader::var_i64() {
+  const std::uint64_t uv = var_u64();
+  return static_cast<std::int64_t>((uv >> 1) ^ (~(uv & 1) + 1));
+}
+
+bool ByteReader::boolean() {
+  const std::uint8_t b = u8();
+  if (b > 1) throw DecodeError("bad boolean encoding");
+  return b != 0;
+}
+
+std::vector<std::byte> ByteReader::bytes() {
+  const std::uint64_t n = var_u64();
+  need(n);
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() +
+                                 static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = var_u64();
+  need(n);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+void ByteReader::expect_done() const {
+  if (!done())
+    throw DecodeError("trailing garbage: " + std::to_string(remaining()) +
+                      " bytes");
+}
+
+}  // namespace tw::util

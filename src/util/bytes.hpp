@@ -1,0 +1,84 @@
+// Wire serialization: a little-endian byte writer/reader pair with varints.
+//
+// Both transports (the discrete-event simulator and the real UDP sockets)
+// carry protocol messages as flat byte buffers produced by ByteWriter and
+// consumed by ByteReader, so message encoding is exercised identically in
+// simulation and on a real network. ByteReader reports malformed input via
+// DecodeError rather than UB — a datagram service may deliver garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tw::util {
+
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+
+  /// LEB128-style unsigned varint (1..10 bytes).
+  void var_u64(std::uint64_t v);
+  /// Zig-zag signed varint.
+  void var_i64(std::int64_t v);
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed byte blob.
+  void bytes(std::span<const std::byte> data);
+  void str(std::string_view s);
+
+  [[nodiscard]] std::span<const std::byte> view() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::uint64_t var_u64();
+  std::int64_t var_i64();
+  bool boolean();
+  std::vector<std::byte> bytes();
+  std::string str();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+  /// Throws DecodeError unless the whole buffer has been consumed.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tw::util

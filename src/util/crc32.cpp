@@ -1,0 +1,31 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace tw::util {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78;  // CRC-32C, reflected
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> data) {
+  std::uint32_t c = ~std::uint32_t{0};
+  for (std::byte b : data)
+    c = kTable[(c ^ static_cast<std::uint32_t>(b)) & 0xff] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace tw::util

@@ -1,0 +1,14 @@
+// CRC-32C (Castagnoli) checksum, used to guard datagrams on the real UDP
+// transport against corruption — the datagram service is allowed to lose or
+// delay messages but delivered messages must be intact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace tw::util {
+
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> data);
+
+}  // namespace tw::util

@@ -1,0 +1,58 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace tw::util {
+namespace {
+
+LogLevel parse_level(const char* s) {
+  if (std::strcmp(s, "trace") == 0) return LogLevel::trace;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::debug;
+  if (std::strcmp(s, "info") == 0) return LogLevel::info;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::warn;
+  if (std::strcmp(s, "error") == 0) return LogLevel::error;
+  if (std::strcmp(s, "off") == 0) return LogLevel::off;
+  return LogLevel::warn;
+}
+
+std::atomic<int> g_threshold{-1};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  int t = g_threshold.load(std::memory_order_relaxed);
+  if (t < 0) {
+    const char* env = std::getenv("TW_LOG_LEVEL");
+    t = static_cast<int>(env ? parse_level(env) : LogLevel::warn);
+    g_threshold.store(t, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(t);
+}
+
+void set_log_threshold(LogLevel lvl) {
+  g_threshold.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void log_emit(LogLevel lvl, const std::string& msg) {
+  const std::lock_guard lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace tw::util

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Protocol code logs through this so that tests can
+// silence output and examples can turn on tracing with TW_LOG_LEVEL.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tw::util {
+
+enum class LogLevel : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+/// Global threshold; messages below it are discarded. Defaults to warn,
+/// overridable via the TW_LOG_LEVEL environment variable
+/// (trace|debug|info|warn|error|off) read at first use.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel lvl);
+
+void log_emit(LogLevel lvl, const std::string& msg);
+
+namespace detail {
+struct LogLine {
+  LogLevel lvl;
+  std::ostringstream os;
+  explicit LogLine(LogLevel l) : lvl(l) {}
+  ~LogLine() { log_emit(lvl, os.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+};
+}  // namespace detail
+
+}  // namespace tw::util
+
+#define TW_LOG(level, expr)                                              \
+  do {                                                                   \
+    if (static_cast<int>(level) >=                                       \
+        static_cast<int>(::tw::util::log_threshold())) {                 \
+      ::tw::util::detail::LogLine tw_ll_(level);                         \
+      tw_ll_.os << expr; /* NOLINT */                                    \
+    }                                                                    \
+  } while (false)
+
+#define TW_TRACE(expr) TW_LOG(::tw::util::LogLevel::trace, expr)
+#define TW_DEBUG(expr) TW_LOG(::tw::util::LogLevel::debug, expr)
+#define TW_INFO(expr) TW_LOG(::tw::util::LogLevel::info, expr)
+#define TW_WARN(expr) TW_LOG(::tw::util::LogLevel::warn, expr)
+#define TW_ERROR(expr) TW_LOG(::tw::util::LogLevel::error, expr)

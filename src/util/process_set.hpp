@@ -1,0 +1,158 @@
+// A value-type set of process ids, backed by a 64-bit mask.
+//
+// Alive-lists, join-lists, reconfiguration-lists, group-lists and oal
+// acknowledgement fields are all sets of team members; the paper's teams are
+// small (a handful of replicated servers), so a fixed 64-member bound is
+// ample and keeps every set operation O(1).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace tw::util {
+
+class ProcessSet {
+ public:
+  static constexpr ProcessId kMaxProcesses = 64;
+
+  constexpr ProcessSet() = default;
+  constexpr explicit ProcessSet(std::uint64_t bits) : bits_(bits) {}
+  ProcessSet(std::initializer_list<ProcessId> ids) {
+    for (ProcessId id : ids) insert(id);
+  }
+
+  /// The set {0, 1, ..., n-1}: a full team of n members.
+  static ProcessSet full(ProcessId n) {
+    TW_ASSERT(n <= kMaxProcesses);
+    return n == kMaxProcesses ? ProcessSet(~std::uint64_t{0})
+                              : ProcessSet((std::uint64_t{1} << n) - 1);
+  }
+
+  void insert(ProcessId id) {
+    TW_ASSERT(id < kMaxProcesses);
+    bits_ |= std::uint64_t{1} << id;
+  }
+  void erase(ProcessId id) {
+    TW_ASSERT(id < kMaxProcesses);
+    bits_ &= ~(std::uint64_t{1} << id);
+  }
+  [[nodiscard]] bool contains(ProcessId id) const {
+    return id < kMaxProcesses && (bits_ >> id) & 1U;
+  }
+  [[nodiscard]] int size() const { return std::popcount(bits_); }
+  [[nodiscard]] bool empty() const { return bits_ == 0; }
+  void clear() { bits_ = 0; }
+
+  [[nodiscard]] std::uint64_t bits() const { return bits_; }
+
+  /// True iff this set has strictly more members than half the team of
+  /// size `team_size` — the paper's "majority of the processes".
+  [[nodiscard]] bool is_majority_of(int team_size) const {
+    return 2 * size() > team_size;
+  }
+
+  /// True iff every element of this set is also in `other`.
+  [[nodiscard]] bool subset_of(const ProcessSet& other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  [[nodiscard]] ProcessSet union_with(const ProcessSet& o) const {
+    return ProcessSet(bits_ | o.bits_);
+  }
+  [[nodiscard]] ProcessSet intersect(const ProcessSet& o) const {
+    return ProcessSet(bits_ & o.bits_);
+  }
+  [[nodiscard]] ProcessSet minus(const ProcessSet& o) const {
+    return ProcessSet(bits_ & ~o.bits_);
+  }
+
+  /// Smallest member, or kNoProcess if empty.
+  [[nodiscard]] ProcessId min() const {
+    return empty() ? kNoProcess
+                   : static_cast<ProcessId>(std::countr_zero(bits_));
+  }
+
+  /// The member that follows `id` in the cyclic order restricted to this
+  /// set (paper §4.1's ring of group members). `id` itself need not be a
+  /// member. Returns kNoProcess if the set is empty.
+  [[nodiscard]] ProcessId successor_of(ProcessId id) const {
+    if (empty()) return kNoProcess;
+    // Bits strictly above `id`.
+    const std::uint64_t above =
+        id + 1 >= kMaxProcesses ? 0 : bits_ & ~((std::uint64_t{2} << id) - 1);
+    if (above != 0) return static_cast<ProcessId>(std::countr_zero(above));
+    return min();  // wrap around
+  }
+
+  /// The member that precedes `id` in the cyclic order restricted to this
+  /// set. Returns kNoProcess if the set is empty.
+  [[nodiscard]] ProcessId predecessor_of(ProcessId id) const {
+    if (empty()) return kNoProcess;
+    const std::uint64_t below =
+        id == 0 ? 0 : bits_ & ((std::uint64_t{1} << id) - 1);
+    if (below != 0)
+      return static_cast<ProcessId>(63 - std::countl_zero(below));
+    return static_cast<ProcessId>(63 - std::countl_zero(bits_));  // wrap
+  }
+
+  /// Rank of `id` among the members in increasing id order (0-based).
+  /// Precondition: contains(id).
+  [[nodiscard]] int rank_of(ProcessId id) const {
+    TW_ASSERT(contains(id));
+    const std::uint64_t below =
+        id == 0 ? 0 : bits_ & ((std::uint64_t{1} << id) - 1);
+    return std::popcount(below);
+  }
+
+  /// Member with the given rank (inverse of rank_of).
+  [[nodiscard]] ProcessId nth(int rank) const {
+    TW_ASSERT(rank >= 0 && rank < size());
+    std::uint64_t b = bits_;
+    for (int i = 0; i < rank; ++i) b &= b - 1;  // clear lowest set bits
+    return static_cast<ProcessId>(std::countr_zero(b));
+  }
+
+  friend bool operator==(const ProcessSet&, const ProcessSet&) = default;
+
+  /// Iterates member ids in increasing order.
+  class iterator {
+   public:
+    using value_type = ProcessId;
+    explicit iterator(std::uint64_t bits) : bits_(bits) {}
+    ProcessId operator*() const {
+      return static_cast<ProcessId>(std::countr_zero(bits_));
+    }
+    iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    friend bool operator==(const iterator&, const iterator&) = default;
+
+   private:
+    std::uint64_t bits_;
+  };
+  [[nodiscard]] iterator begin() const { return iterator(bits_); }
+  [[nodiscard]] iterator end() const { return iterator(0); }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "{";
+    bool first = true;
+    for (ProcessId id : *this) {
+      if (!first) s += ',';
+      s += std::to_string(id);
+      first = false;
+    }
+    s += '}';
+    return s;
+  }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace tw::util

@@ -1,0 +1,70 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace tw::util {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void Samples::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) /
+         static_cast<double>(xs_.size());
+}
+
+double Samples::min() const {
+  sort_if_needed();
+  return xs_.empty() ? 0.0 : xs_.front();
+}
+
+double Samples::max() const {
+  sort_if_needed();
+  return xs_.empty() ? 0.0 : xs_.back();
+}
+
+double Samples::percentile(double q) const {
+  if (xs_.empty()) return 0.0;
+  sort_if_needed();
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return xs_.front();
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(xs_.size())) - 1);
+  return xs_[std::min(idx, xs_.size() - 1)];
+}
+
+std::string Samples::summary() const {
+  std::ostringstream os;
+  os << "mean=" << mean() << " p50=" << percentile(0.5)
+     << " p99=" << percentile(0.99) << " max=" << max()
+     << " (n=" << count() << ")";
+  return os.str();
+}
+
+}  // namespace tw::util

@@ -1,0 +1,54 @@
+// Small statistics helpers used by the benchmark harnesses: running
+// mean/stddev/min/max and an exact-percentile sample collector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tw::util {
+
+/// Welford running statistics — O(1) memory.
+class RunningStat {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample; gives exact quantiles. Fine for bench-scale data.
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// q in [0,1]; nearest-rank. Returns 0 for an empty sample set.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+  /// "mean=… p50=… p99=… max=… (n=…)"
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void sort_if_needed() const;
+};
+
+}  // namespace tw::util

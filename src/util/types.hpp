@@ -1,0 +1,34 @@
+// Fundamental identifier types shared by every layer of the stack.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tw {
+
+/// Identifier of a team member. Team members are numbered 0..N-1 and are
+/// cyclically ordered by this id (paper §4.1: "All group members are
+/// cyclically ordered").
+using ProcessId = std::uint32_t;
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess =
+    std::numeric_limits<ProcessId>::max();
+
+/// Monotonically increasing identifier of a group incarnation ("view id").
+using GroupId = std::uint64_t;
+
+/// Ordinal associated with an update/membership change by a decision
+/// message (paper §2).
+using Ordinal = std::uint64_t;
+
+/// Sentinel for "ordinal not yet assigned".
+inline constexpr Ordinal kNoOrdinal = std::numeric_limits<Ordinal>::max();
+
+/// Per-sender proposal sequence number (FIFO order within one proposer).
+/// 64-bit: after a crash recovery the sequence restarts from the hardware
+/// clock's microsecond reading, which is strictly above anything the
+/// previous incarnation used (proposal ids must never repeat).
+using ProposalSeq = std::uint64_t;
+
+}  // namespace tw

@@ -1,0 +1,186 @@
+// Unit tests for the ordering-and-acknowledgement list.
+#include "bcast/oal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tw::bcast {
+namespace {
+
+Proposal make_proposal(ProcessId proposer, ProposalSeq seq,
+                       Order order = Order::total,
+                       Atomicity atomicity = Atomicity::weak,
+                       Ordinal hdo = 0, sim::ClockTime ts = 100) {
+  Proposal p;
+  p.id = {proposer, seq};
+  p.order = order;
+  p.atomicity = atomicity;
+  p.hdo = hdo;
+  p.send_ts = ts;
+  p.payload = {std::byte{0xaa}};
+  return p;
+}
+
+TEST(Oal, OrdinalsAreContiguous) {
+  Oal oal;
+  EXPECT_EQ(oal.next_ordinal(), 0u);
+  EXPECT_EQ(oal.highest(), kNoOrdinal);
+  EXPECT_EQ(oal.append_update(make_proposal(1, 10), {}), 0u);
+  EXPECT_EQ(oal.append_update(make_proposal(2, 20), {}), 1u);
+  EXPECT_EQ(oal.append_membership(7, util::ProcessSet({1, 2}), 50), 2u);
+  EXPECT_EQ(oal.next_ordinal(), 3u);
+  EXPECT_EQ(oal.highest(), 2u);
+  EXPECT_EQ(oal.size(), 3u);
+}
+
+TEST(Oal, FindByPidAndOrdinal) {
+  Oal oal;
+  oal.append_update(make_proposal(1, 10), {});
+  oal.append_update(make_proposal(2, 20), {});
+  ASSERT_NE(oal.find(ProposalId{1, 10}), nullptr);
+  EXPECT_EQ(oal.find(ProposalId{1, 10})->ordinal, 0u);
+  EXPECT_EQ(oal.find(ProposalId{1, 11}), nullptr);
+  ASSERT_NE(oal.find_ordinal(1), nullptr);
+  EXPECT_EQ(oal.find_ordinal(1)->pid, (ProposalId{2, 20}));
+  EXPECT_EQ(oal.find_ordinal(2), nullptr);
+}
+
+TEST(Oal, DuplicateAppendRejected) {
+  Oal oal;
+  oal.append_update(make_proposal(1, 10), {});
+  EXPECT_THROW(oal.append_update(make_proposal(1, 10), {}),
+               util::AssertionError);
+}
+
+TEST(Oal, AcksAccumulate) {
+  Oal oal;
+  oal.append_update(make_proposal(1, 10), util::ProcessSet({0}));
+  oal.add_ack(ProposalId{1, 10}, 2);
+  EXPECT_EQ(oal.find_ordinal(0)->acks, util::ProcessSet({0, 2}));
+}
+
+TEST(Oal, MergeAcksFromOtherWindow) {
+  Oal a, b;
+  a.append_update(make_proposal(1, 10), util::ProcessSet({0}));
+  b.append_update(make_proposal(1, 10), util::ProcessSet({1, 2}));
+  a.merge_acks_from(b);
+  EXPECT_EQ(a.find_ordinal(0)->acks, util::ProcessSet({0, 1, 2}));
+}
+
+TEST(Oal, MergeAbsorbsUndeliverableMarks) {
+  Oal a, b;
+  a.append_update(make_proposal(1, 10), {});
+  b.append_update(make_proposal(1, 10), {});
+  b.find_ordinal(0)->undeliverable = true;
+  a.merge_acks_from(b);
+  EXPECT_TRUE(a.find_ordinal(0)->undeliverable);
+}
+
+TEST(Oal, PurgeStableRequiresFullAcks) {
+  Oal oal;
+  const util::ProcessSet group({0, 1, 2});
+  oal.append_update(make_proposal(1, 10), util::ProcessSet({0, 1, 2}));
+  oal.append_update(make_proposal(1, 11), util::ProcessSet({0, 1}));
+  oal.append_update(make_proposal(1, 12), util::ProcessSet({0, 1, 2}));
+  // Entry 1 not fully acked: purge stops after entry 0.
+  EXPECT_EQ(oal.purge_stable(group, 1000, 0, 0), 1);
+  EXPECT_EQ(oal.base(), 1u);
+  EXPECT_EQ(oal.size(), 2u);
+  // Ack completes → the rest goes.
+  oal.find_ordinal(1)->acks.insert(2);
+  EXPECT_EQ(oal.purge_stable(group, 1000, 0, 0), 2);
+  EXPECT_TRUE(oal.empty());
+  EXPECT_EQ(oal.next_ordinal(), 3u);
+}
+
+TEST(Oal, PurgeHoldsTimeOrderedUntilRelease) {
+  Oal oal;
+  const util::ProcessSet group({0, 1});
+  Proposal p = make_proposal(1, 10, Order::time, Atomicity::weak, 0,
+                             /*ts=*/1000);
+  oal.append_update(p, group);
+  const sim::Duration deliver_delay = 500;
+  // Release time = 1000 + 500; hold margin 100 on top.
+  EXPECT_EQ(oal.purge_stable(group, 1400, deliver_delay, 100), 0);
+  EXPECT_EQ(oal.purge_stable(group, 1700, deliver_delay, 100), 1);
+}
+
+TEST(Oal, PurgeHoldsUndeliverableForMarkHold) {
+  Oal oal;
+  const util::ProcessSet group({0, 1});
+  oal.append_update(make_proposal(1, 10), {});
+  auto* e = oal.find_ordinal(0);
+  e->undeliverable = true;
+  e->mark_ts = 1000;
+  EXPECT_EQ(oal.purge_stable(group, 1200, 0, 500), 0);  // held
+  EXPECT_EQ(oal.purge_stable(group, 1600, 0, 500), 1);  // mark aged out
+}
+
+TEST(Oal, EncodeDecodeRoundTrip) {
+  Oal oal;
+  oal.append_update(make_proposal(1, 10, Order::time, Atomicity::strict, 7,
+                                  12345),
+                    util::ProcessSet({0, 3}));
+  oal.append_membership(42, util::ProcessSet({0, 1, 3}), 999);
+  auto* marked = oal.find_ordinal(0);
+  marked->undeliverable = true;
+  marked->mark_ts = 777;
+
+  util::ByteWriter w;
+  oal.encode(w);
+  util::ByteReader r(w.view());
+  const Oal out = Oal::decode(r);
+  r.expect_done();
+
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.base(), 0u);
+  const OalEntry& e0 = *out.find_ordinal(0);
+  EXPECT_EQ(e0.pid, (ProposalId{1, 10}));
+  EXPECT_EQ(e0.order, Order::time);
+  EXPECT_EQ(e0.atomicity, Atomicity::strict);
+  EXPECT_EQ(e0.hdo, 7u);
+  EXPECT_EQ(e0.ts, 12345);
+  EXPECT_TRUE(e0.undeliverable);
+  EXPECT_EQ(e0.mark_ts, 777);
+  EXPECT_EQ(e0.acks, util::ProcessSet({0, 3}));
+  const OalEntry& e1 = *out.find_ordinal(1);
+  EXPECT_EQ(e1.kind, OalEntry::Kind::membership);
+  EXPECT_EQ(e1.gid, 42u);
+  EXPECT_EQ(e1.members, util::ProcessSet({0, 1, 3}));
+}
+
+TEST(Oal, DecodeRejectsNonContiguousOrdinals) {
+  Oal oal;
+  oal.append_update(make_proposal(1, 10), {});
+  util::ByteWriter w;
+  oal.encode(w);
+  // Corrupt the ordinal varint (base=0 at byte 0, count at byte 1, then
+  // entry kind at byte 2 and ordinal at byte 3).
+  auto bytes = std::vector<std::byte>(w.view().begin(), w.view().end());
+  bytes[3] = std::byte{5};
+  util::ByteReader r(bytes);
+  EXPECT_THROW(Oal::decode(r), util::DecodeError);
+}
+
+TEST(Oal, ResetBaseOnlyWhenEmpty) {
+  Oal oal;
+  oal.reset_base(1000);
+  EXPECT_EQ(oal.next_ordinal(), 1000u);
+  EXPECT_EQ(oal.append_update(make_proposal(1, 10), {}), 1000u);
+  EXPECT_THROW(oal.reset_base(2000), util::AssertionError);
+}
+
+TEST(Oal, PrefixCompatibility) {
+  Oal a, b;
+  a.append_update(make_proposal(1, 10), {});
+  a.append_update(make_proposal(2, 20), {});
+  b.append_update(make_proposal(1, 10), {});
+  b.append_update(make_proposal(2, 20), {});
+  EXPECT_TRUE(a.is_prefix_compatible(b));
+  Oal c;
+  c.append_update(make_proposal(1, 10), {});
+  c.append_update(make_proposal(3, 30), {});  // diverges at ordinal 1
+  EXPECT_FALSE(a.is_prefix_compatible(c));
+}
+
+}  // namespace
+}  // namespace tw::bcast

@@ -1,0 +1,100 @@
+// Parameterized sweep of the fail-aware clock synchronization service over
+// the hardware regimes the paper quotes (§2: "the maximum hardware clock
+// drift rate ρ is of the order of 10^-4 to 10^-6") and network δ settings:
+// the ε deviation bound must hold in every regime, and the bound must be
+// honest (not vacuously huge).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "clocksync/clock_sync.hpp"
+#include "net/sim_transport.hpp"
+
+namespace tw::csync {
+namespace {
+
+struct Regime {
+  double rho;
+  sim::ClockTime max_offset;
+  sim::Duration delta;
+  std::uint64_t seed;
+};
+
+struct CsNode final : net::Handler {
+  ClockSync cs;
+  explicit CsNode(net::Endpoint& e, Config cfg) : cs(e, cfg) {}
+  void on_start() override { cs.start(); }
+  void on_datagram(ProcessId from, std::span<const std::byte> data) override {
+    util::ByteReader r(data);
+    const auto kind = static_cast<net::MsgKind>(r.u8());
+    if (ClockSync::handles(kind)) cs.on_datagram(from, kind, r);
+  }
+};
+
+class ClockSyncRegimes : public ::testing::TestWithParam<Regime> {};
+
+TEST_P(ClockSyncRegimes, EpsilonHolbsAcrossTheSweep) {
+  const Regime prm = GetParam();
+  net::SimClusterConfig cc;
+  cc.n = 5;
+  cc.seed = prm.seed;
+  cc.rho = prm.rho;
+  cc.max_clock_offset = prm.max_offset;
+  cc.delays.delta = prm.delta;
+  net::SimCluster cluster(cc);
+
+  Config cfg;
+  cfg.delta = prm.delta;
+  cfg.min_delay = cc.delays.min_delay;
+  cfg.rho = prm.rho;
+  std::vector<std::unique_ptr<CsNode>> nodes;
+  for (ProcessId p = 0; p < 5; ++p) {
+    nodes.push_back(std::make_unique<CsNode>(cluster.endpoint(p), cfg));
+    cluster.bind(p, *nodes.back());
+  }
+  cluster.start();
+  cluster.run_until(sim::sec(2));
+
+  const sim::Duration eps = cfg.epsilon();
+  // The bound must be honest: within an order of magnitude of 2δ.
+  EXPECT_LE(eps, 4 * prm.delta);
+
+  sim::Duration worst = 0;
+  for (int i = 0; i < 60; ++i) {
+    cluster.run_until(cluster.now() + sim::msec(333));
+    sim::ClockTime lo = INT64_MAX, hi = INT64_MIN;
+    for (auto& n : nodes) {
+      const auto v = n->cs.now();
+      ASSERT_TRUE(v.has_value()) << "lost sync in regime rho=" << prm.rho;
+      lo = std::min(lo, *v);
+      hi = std::max(hi, *v);
+    }
+    worst = std::max(worst, hi - lo);
+  }
+  EXPECT_LE(worst, eps) << "rho=" << prm.rho << " delta=" << prm.delta
+                        << " offset=" << prm.max_offset;
+}
+
+std::vector<Regime> regimes() {
+  std::vector<Regime> out;
+  std::uint64_t seed = 1;
+  for (double rho : {1e-6, 1e-5, 1e-4})
+    for (sim::ClockTime offset : {sim::msec(10), sim::sec(1), sim::sec(30)})
+      for (sim::Duration delta : {sim::msec(2), sim::msec(10), sim::msec(40)})
+        out.push_back({rho, offset, delta, seed++});
+  return out;
+}
+
+std::string regime_name(const ::testing::TestParamInfo<Regime>& info) {
+  const auto& r = info.param;
+  return "rho1em" +
+         std::to_string(-static_cast<int>(std::log10(r.rho))) +
+         "_off" + std::to_string(r.max_offset / 1000) + "ms_delta" +
+         std::to_string(r.delta / 1000) + "ms";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClockSyncRegimes,
+                         ::testing::ValuesIn(regimes()), regime_name);
+
+}  // namespace
+}  // namespace tw::csync

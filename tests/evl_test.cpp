@@ -1,0 +1,130 @@
+#include "evl/dispatch.hpp"
+#include "evl/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace tw::evl {
+namespace {
+
+TEST(EventLoop, TimerFires) {
+  EventLoop loop;
+  bool fired = false;
+  loop.add_timer_after(sim::msec(5), [&] { fired = true; });
+  loop.run_for(sim::msec(100));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, TimersFireInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.add_timer_after(sim::msec(20), [&] { order.push_back(2); });
+  loop.add_timer_after(sim::msec(5), [&] { order.push_back(1); });
+  loop.run_for(sim::msec(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoop, CancelledTimerDoesNotFire) {
+  EventLoop loop;
+  bool fired = false;
+  const auto id = loop.add_timer_after(sim::msec(5), [&] { fired = true; });
+  loop.cancel_timer(id);
+  loop.run_for(sim::msec(30));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, StopFromCallback) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count >= 3) {
+      loop.stop();
+    } else {
+      loop.add_timer_after(sim::msec(1), tick);
+    }
+  };
+  loop.add_timer_after(0, tick);
+  loop.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventLoop, FdReadableDispatch) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_DGRAM, 0, fds), 0);
+  EventLoop loop;
+  int reads = 0;
+  loop.watch_fd(fds[0], [&] {
+    char buf[16];
+    ::recv(fds[0], buf, sizeof(buf), 0);
+    ++reads;
+    loop.stop();
+  });
+  ::send(fds[1], "x", 1, 0);
+  loop.run();
+  EXPECT_EQ(reads, 1);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(EventLoop, PostFromOtherThread) {
+  EventLoop loop;
+  std::atomic<bool> ran{false};
+  std::thread poster([&] { loop.post([&] { ran = true; loop.stop(); }); });
+  loop.run();
+  poster.join();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventBasedDemux, DispatchesToCorrectHandler) {
+  std::vector<std::uint64_t> sums(3, 0);
+  std::vector<EventFn> handlers;
+  for (size_t t = 0; t < 3; ++t)
+    handlers.emplace_back([&sums, t](std::uint64_t v) { sums[t] += v; });
+  EventBasedDemux demux(std::move(handlers));
+  demux.post(0, 1);
+  demux.post(1, 10);
+  demux.post(2, 100);
+  demux.post(1, 10);
+  EXPECT_EQ(demux.drain(), 4u);
+  EXPECT_EQ(sums, (std::vector<std::uint64_t>{1, 20, 100}));
+}
+
+TEST(ThreadPerEventDemux, ProcessesAllEvents) {
+  std::vector<std::uint64_t> sums(4, 0);
+  std::vector<EventFn> handlers;
+  for (size_t t = 0; t < 4; ++t)
+    handlers.emplace_back([&sums, t](std::uint64_t v) { sums[t] += v; });
+  {
+    ThreadPerEventDemux demux(std::move(handlers));
+    for (int i = 0; i < 100; ++i)
+      demux.post(static_cast<EventTypeId>(i % 4), 1);
+    demux.drain();
+    for (const auto s : sums) EXPECT_EQ(s, 25u);
+  }
+}
+
+TEST(ThreadPerEventDemux, MutualExclusionOfHandlers) {
+  // The paper's explicit scheduling: at most one handler runs at a time.
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  std::vector<EventFn> handlers;
+  for (size_t t = 0; t < 8; ++t)
+    handlers.emplace_back([&](std::uint64_t) {
+      if (inside.fetch_add(1) != 0) overlapped = true;
+      inside.fetch_sub(1);
+    });
+  {
+    ThreadPerEventDemux demux(std::move(handlers));
+    for (int i = 0; i < 400; ++i)
+      demux.post(static_cast<EventTypeId>(i % 8), 0);
+    demux.drain();
+  }
+  EXPECT_FALSE(overlapped.load());
+}
+
+}  // namespace
+}  // namespace tw::evl

@@ -1,0 +1,108 @@
+// Exhaustive single-fault placement sweep: for every control-message kind
+// the membership protocol sends, every sender position in the ring, and
+// one / burst drop counts, inject the loss at a fixed phase of a running
+// group and require (a) the §3 safety invariants on the whole trace and
+// (b) service recovery — all members back in one group and a subsequent
+// update delivered everywhere.
+//
+// This systematically covers the transitions of Figure 2 that depend on
+// WHICH message was lost (a decision loss drives the wrong-suspicion /
+// no-decision machinery; a no-decision loss stresses the ring's FD chain;
+// reconfiguration losses stress the slotted election).
+#include <gtest/gtest.h>
+
+#include "gms/sim_harness.hpp"
+#include "net/msg_kind.hpp"
+
+namespace tw::gms {
+namespace {
+
+struct DropCase {
+  net::MsgKind kind;
+  ProcessId sender;     ///< whose messages get dropped
+  int count;            ///< how many consecutive matches
+  bool to_all;          ///< towards everyone vs a strict subset
+};
+
+class DropMatrix : public ::testing::TestWithParam<DropCase> {};
+
+TEST_P(DropMatrix, GroupSurvivesAndRecovers) {
+  const DropCase prm = GetParam();
+  constexpr int kTeam = 5;
+  HarnessConfig cfg;
+  cfg.n = kTeam;
+  cfg.seed = 4000 + static_cast<std::uint64_t>(prm.sender) * 17 +
+             static_cast<std::uint64_t>(prm.count) * 3 +
+             net::kind_byte(prm.kind);
+  SimHarness h(cfg);
+  h.start();
+  ASSERT_TRUE(h.run_until_group(util::ProcessSet::full(kTeam), sim::sec(10)));
+  h.run_for(sim::msec(500));
+
+  util::ProcessSet targets = util::ProcessSet::full(kTeam);
+  if (!prm.to_all) {
+    targets.erase(prm.sender);
+    targets.erase((prm.sender + 1) % kTeam);
+  }
+  h.cluster().network().arm_drop(prm.sender, net::kind_byte(prm.kind),
+                                 targets, prm.count * (kTeam - 1));
+
+  // For kinds that only flow during elections, force an election by also
+  // crashing a member briefly... no: keep it pure — a no-decision only
+  // exists after a (real or false) suspicion, which the decision-drops
+  // above trigger. To exercise ND/reconfiguration drops, provoke the
+  // episode with one decision drop first.
+  if (prm.kind == net::MsgKind::no_decision ||
+      prm.kind == net::MsgKind::reconfiguration) {
+    h.cluster().network().arm_drop(
+        prm.sender, net::kind_byte(net::MsgKind::decision),
+        util::ProcessSet::full(kTeam), 2 * (kTeam - 1));
+  }
+
+  h.run_for(sim::sec(8));
+
+  // Everyone converges back into one full group (no member was actually
+  // dead, so all five must re-assemble, possibly after an exclusion).
+  EXPECT_TRUE(
+      h.run_until_group(util::ProcessSet::full(kTeam), h.now() + sim::sec(25)))
+      << "kind=" << net::msg_kind_name(prm.kind)
+      << " sender=" << prm.sender << " count=" << prm.count;
+
+  // The service still works end-to-end.
+  const auto delivered_before = h.delivered(2).size();
+  h.propose(1, 31337, bcast::Order::total);
+  h.run_for(sim::sec(2));
+  EXPECT_GT(h.delivered(2).size(), delivered_before);
+
+  for (const auto& e : h.check_majority_agreement_invariants(
+           util::ProcessSet::full(kTeam)))
+    ADD_FAILURE() << net::msg_kind_name(prm.kind) << "/s" << prm.sender
+                  << ": " << e;
+}
+
+std::vector<DropCase> drop_matrix() {
+  std::vector<DropCase> out;
+  for (net::MsgKind kind :
+       {net::MsgKind::decision, net::MsgKind::proposal,
+        net::MsgKind::no_decision, net::MsgKind::reconfiguration,
+        net::MsgKind::clocksync_reply}) {
+    for (ProcessId sender = 0; sender < 5; ++sender) {
+      out.push_back({kind, sender, 1, true});
+      out.push_back({kind, sender, 3, false});
+    }
+  }
+  return out;
+}
+
+std::string drop_name(const ::testing::TestParamInfo<DropCase>& info) {
+  return std::string(net::msg_kind_name(info.param.kind)) + "_s" +
+         std::to_string(info.param.sender) + "_x" +
+         std::to_string(info.param.count) +
+         (info.param.to_all ? "_all" : "_subset");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DropMatrix,
+                         ::testing::ValuesIn(drop_matrix()), drop_name);
+
+}  // namespace
+}  // namespace tw::gms

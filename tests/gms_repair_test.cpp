@@ -1,0 +1,193 @@
+// Unit tests for §4.3's undeliverable-proposal classification and oal
+// repair: lost, orphan-order, orphan-atomicity, unknown-dependency, and the
+// dpd append.
+#include "gms/repair.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tw::gms {
+namespace {
+
+using bcast::Atomicity;
+using bcast::Oal;
+using bcast::Order;
+using bcast::Proposal;
+using bcast::ProposalId;
+
+Proposal make(ProcessId proposer, ProposalSeq seq, Order order,
+              Atomicity atomicity, Ordinal hdo = 0) {
+  Proposal p;
+  p.id = {proposer, seq};
+  p.order = order;
+  p.atomicity = atomicity;
+  p.hdo = hdo;
+  p.send_ts = 100;
+  return p;
+}
+
+const util::ProcessSet kSurvivors({0, 1, 2});
+const util::ProcessSet kDeparted({3});
+
+RepairInput input(Oal oal, std::vector<ProposalId> dpds = {}) {
+  RepairInput in;
+  in.oal = std::move(oal);
+  in.new_members = kSurvivors;
+  in.departed = kDeparted;
+  in.dpds = std::move(dpds);
+  in.now = 5000;
+  return in;
+}
+
+TEST(Repair, LostProposalMarked) {
+  Oal oal;
+  // Departed member 3's proposal, held by nobody surviving.
+  oal.append_update(make(3, 1, Order::total, Atomicity::weak),
+                    util::ProcessSet({3}));
+  const auto out = repair_oal(input(std::move(oal)));
+  EXPECT_EQ(out.marked_lost, 1);
+  EXPECT_TRUE(out.oal.find_ordinal(0)->undeliverable);
+  EXPECT_EQ(out.oal.find_ordinal(0)->mark_ts, 5000);
+}
+
+TEST(Repair, HeldProposalOfDepartedNotLost) {
+  Oal oal;
+  oal.append_update(make(3, 1, Order::total, Atomicity::weak),
+                    util::ProcessSet({3, 1}));  // survivor 1 holds it
+  const auto out = repair_oal(input(std::move(oal)));
+  EXPECT_EQ(out.marked_lost, 0);
+  EXPECT_FALSE(out.oal.find_ordinal(0)->undeliverable);
+}
+
+TEST(Repair, SurvivorsProposalsNeverMarked) {
+  Oal oal;
+  oal.append_update(make(1, 1, Order::total, Atomicity::strict, 99),
+                    util::ProcessSet{});
+  const auto out = repair_oal(input(std::move(oal)));
+  EXPECT_EQ(out.total_marked(), 0);
+}
+
+TEST(Repair, OrphanOrderCascades) {
+  Oal oal;
+  // Departed 3's FIFO chain: seq 1 lost, seq 2 held but total-ordered —
+  // delivering 2 without 1 would break FIFO, so it cascades.
+  oal.append_update(make(3, 1, Order::total, Atomicity::weak),
+                    util::ProcessSet({3}));
+  oal.append_update(make(3, 2, Order::total, Atomicity::weak),
+                    util::ProcessSet({3, 0}));
+  const auto out = repair_oal(input(std::move(oal)));
+  EXPECT_EQ(out.marked_lost, 1);
+  EXPECT_EQ(out.marked_orphan_order, 1);
+  EXPECT_TRUE(out.oal.find_ordinal(1)->undeliverable);
+}
+
+TEST(Repair, UnorderedSemanticsDoNotCascadeOrder) {
+  Oal oal;
+  oal.append_update(make(3, 1, Order::total, Atomicity::weak),
+                    util::ProcessSet({3}));
+  oal.append_update(make(3, 2, Order::unordered, Atomicity::weak),
+                    util::ProcessSet({3, 0}));
+  const auto out = repair_oal(input(std::move(oal)));
+  EXPECT_EQ(out.marked_orphan_order, 0);
+  EXPECT_FALSE(out.oal.find_ordinal(1)->undeliverable);
+}
+
+TEST(Repair, OrphanAtomicityViaHdoWindow) {
+  Oal oal;
+  // Ordinal 0: lost. Departed 3's strong-atomicity proposal with hdo=0
+  // depends on it.
+  oal.append_update(make(3, 1, Order::unordered, Atomicity::weak),
+                    util::ProcessSet({3}));
+  oal.append_update(make(3, 2, Order::unordered, Atomicity::strong,
+                         /*hdo=*/0),
+                    util::ProcessSet({3, 2}));
+  const auto out = repair_oal(input(std::move(oal)));
+  EXPECT_EQ(out.marked_lost, 1);
+  EXPECT_EQ(out.marked_orphan_atomicity, 1);
+}
+
+TEST(Repair, AtomicityOutsideHdoWindowSurvives) {
+  Oal oal;
+  oal.append_update(make(1, 7, Order::unordered, Atomicity::weak),
+                    util::ProcessSet({1}));  // ordinal 0, survivor's
+  oal.append_update(make(3, 1, Order::unordered, Atomicity::weak),
+                    util::ProcessSet({3}));  // ordinal 1: lost
+  // hdo = 0 < ordinal of the lost entry: no dependency on it.
+  oal.append_update(make(3, 2, Order::unordered, Atomicity::strong,
+                         /*hdo=*/0),
+                    util::ProcessSet({3, 2}));
+  const auto out = repair_oal(input(std::move(oal)));
+  EXPECT_EQ(out.marked_lost, 1);
+  EXPECT_EQ(out.marked_orphan_atomicity, 0);
+}
+
+TEST(Repair, UnknownDependencyMarked) {
+  Oal oal;
+  // Departed 3's strong proposal claims dependencies up to ordinal 50 but
+  // the survivors' merged knowledge ends below that: its ordering decision
+  // died with the departed decider.
+  oal.append_update(make(3, 1, Order::unordered, Atomicity::strong,
+                         /*hdo=*/50),
+                    util::ProcessSet({3, 1}));
+  const auto out = repair_oal(input(std::move(oal)));
+  EXPECT_EQ(out.marked_unknown_dependency, 1);
+}
+
+TEST(Repair, WeakAtomicityIgnoresUnknownDependency) {
+  Oal oal;
+  oal.append_update(make(3, 1, Order::unordered, Atomicity::weak,
+                         /*hdo=*/50),
+                    util::ProcessSet({3, 1}));
+  const auto out = repair_oal(input(std::move(oal)));
+  EXPECT_EQ(out.marked_unknown_dependency, 0);
+}
+
+TEST(Repair, DpdAppendedWithFreshOrdinals) {
+  Oal oal;
+  oal.append_update(make(1, 1, Order::total, Atomicity::weak),
+                    util::ProcessSet({1}));
+  const std::vector<ProposalId> dpds = {{2, 7}, {2, 7}, {0, 3}};  // dup
+  const auto out = repair_oal(input(std::move(oal), dpds));
+  EXPECT_EQ(out.appended_dpd, 2);  // deduplicated
+  EXPECT_TRUE(out.oal.contains(ProposalId{2, 7}));
+  EXPECT_TRUE(out.oal.contains(ProposalId{0, 3}));
+  // Appended dpd stubs are weak+unordered (only those deliver early).
+  const auto* stub = out.oal.find(ProposalId{2, 7});
+  EXPECT_EQ(stub->order, Order::unordered);
+  EXPECT_EQ(stub->atomicity, Atomicity::weak);
+}
+
+TEST(Repair, DpdAlreadyInOalNotDuplicated) {
+  Oal oal;
+  oal.append_update(make(2, 7, Order::unordered, Atomicity::weak),
+                    util::ProcessSet({2}));
+  const auto out = repair_oal(input(std::move(oal), {{2, 7}}));
+  EXPECT_EQ(out.appended_dpd, 0);
+  EXPECT_EQ(out.oal.size(), 1u);
+}
+
+TEST(Repair, MembershipEntriesUntouched) {
+  Oal oal;
+  oal.append_membership(9, util::ProcessSet({0, 1, 2, 3}), 100);
+  const auto out = repair_oal(input(std::move(oal)));
+  EXPECT_EQ(out.total_marked(), 0);
+  EXPECT_FALSE(out.oal.find_ordinal(0)->undeliverable);
+}
+
+TEST(Repair, FullCascadeChain) {
+  Oal oal;
+  // lost → orphan-order → orphan-atomicity chain across three entries.
+  oal.append_update(make(3, 1, Order::total, Atomicity::weak),
+                    util::ProcessSet({3}));                     // lost
+  oal.append_update(make(3, 2, Order::total, Atomicity::weak),
+                    util::ProcessSet({3, 0}));                  // orphan-order
+  oal.append_update(make(3, 3, Order::unordered, Atomicity::strict,
+                         /*hdo=*/1),
+                    util::ProcessSet({3, 0, 1, 2}));  // depends on ordinal 1
+  const auto out = repair_oal(input(std::move(oal)));
+  EXPECT_EQ(out.total_marked(), 3);
+  for (Ordinal o = 0; o < 3; ++o)
+    EXPECT_TRUE(out.oal.find_ordinal(o)->undeliverable) << o;
+}
+
+}  // namespace
+}  // namespace tw::gms

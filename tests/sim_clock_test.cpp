@@ -1,0 +1,66 @@
+#include "sim/hardware_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace tw::sim {
+namespace {
+
+TEST(HardwareClock, PerfectClockIsIdentity) {
+  HardwareClock c(0.0, 0);
+  EXPECT_EQ(c.read(0), 0);
+  EXPECT_EQ(c.read(123456789), 123456789);
+}
+
+TEST(HardwareClock, OffsetApplied) {
+  HardwareClock c(0.0, 5000);
+  EXPECT_EQ(c.read(100), 5100);
+}
+
+TEST(HardwareClock, DriftBoundedEnvelope) {
+  // Paper §2: drift rate of correct clocks bounded by rho ~ 1e-4..1e-6.
+  const double rho = 1e-4;
+  HardwareClock fast(rho, 0);
+  HardwareClock slow(-rho, 0);
+  const SimTime t = sec(1000);
+  // (1-rho)t <= H(t) <= (1+rho)t
+  EXPECT_LE(slow.read(t), t);
+  EXPECT_GE(fast.read(t), t);
+  EXPECT_NEAR(static_cast<double>(fast.read(t) - t),
+              rho * static_cast<double>(t), 2.0);
+  EXPECT_NEAR(static_cast<double>(t - slow.read(t)),
+              rho * static_cast<double>(t), 2.0);
+}
+
+TEST(HardwareClock, InverseHitsTarget) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const double drift = rng.uniform_real(-1e-4, 1e-4);
+    const ClockTime offset = rng.uniform_int(-sec(10), sec(10));
+    HardwareClock c(drift, offset);
+    const ClockTime target = rng.uniform_int(0, sec(3600));
+    const SimTime real = c.real_time_of(target, 0);
+    EXPECT_GE(c.read(real), target);
+    if (real > 0) {
+      EXPECT_LT(c.read(real - 1), target);
+    }
+  }
+}
+
+TEST(HardwareClock, InverseRespectsNotBefore) {
+  HardwareClock c(0.0, sec(100));  // clock far ahead of real time
+  const SimTime real = c.real_time_of(0, 500);
+  EXPECT_EQ(real, 500);  // already past the target, clamp to not_before
+}
+
+TEST(HardwareClock, TwoClocksDivergeSlowly) {
+  HardwareClock a(1e-5, 0), b(-1e-5, 0);
+  // After 100 simulated seconds, deviation is about 2e-5 * 100s = 2 ms.
+  const SimTime t = sec(100);
+  const auto dev = a.read(t) - b.read(t);
+  EXPECT_NEAR(static_cast<double>(dev), 2e-5 * static_cast<double>(t), 10.0);
+}
+
+}  // namespace
+}  // namespace tw::sim

@@ -1,0 +1,167 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace tw::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.schedule(5, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, Cancel) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1, [&] { ++fired; });
+  const EventId id = q.schedule(2, [&] { ++fired; });
+  q.schedule(3, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // already cancelled
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.schedule(1, [] {});
+  q.schedule(9, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 9);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EmptyNextTimeIsNever) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kNever);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, NowAdvancesMonotonically) {
+  Simulator s(1);
+  std::vector<SimTime> times;
+  s.after(100, [&] { times.push_back(s.now()); });
+  s.after(50, [&] { times.push_back(s.now()); });
+  s.at(200, [&] { times.push_back(s.now()); });
+  s.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{50, 100, 200}));
+  EXPECT_EQ(s.now(), 200);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s(1);
+  int depth_reached = 0;
+  std::function<void(int)> recurse = [&](int depth) {
+    depth_reached = depth;
+    if (depth < 5) s.after(10, [&, depth] { recurse(depth + 1); });
+  };
+  s.after(0, [&] { recurse(1); });
+  s.run();
+  EXPECT_EQ(depth_reached, 5);
+  EXPECT_EQ(s.now(), 40);  // recurse(1) at t=0, then 4 more hops of 10
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s(1);
+  s.run_until(1234);
+  EXPECT_EQ(s.now(), 1234);
+}
+
+TEST(Simulator, RunUntilDoesNotRunLaterEvents) {
+  Simulator s(1);
+  int fired = 0;
+  s.at(100, [&] { ++fired; });
+  s.at(200, [&] { ++fired; });
+  s.run_until(150);
+  EXPECT_EQ(fired, 1);
+  s.run_until(250);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator s(1);
+  s.at(100, [&s] {
+    EXPECT_THROW(s.at(50, [] {}), util::AssertionError);
+  });
+  s.run();
+}
+
+TEST(Simulator, DeterministicRngStream) {
+  Simulator a(7), b(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.split();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(DelayModel, TimelyUnlessLateInjected) {
+  Rng rng(5);
+  DelayModel m;
+  m.min_delay = 100;
+  m.mean_delay = 400;
+  m.delta = 2000;
+  for (int i = 0; i < 10000; ++i) {
+    const Duration d = m.sample(rng);
+    EXPECT_GE(d, m.min_delay);
+    EXPECT_LE(d, m.delta);
+  }
+}
+
+TEST(DelayModel, LateProbProducesPerformanceFailures) {
+  Rng rng(5);
+  DelayModel m;
+  m.late_prob = 0.5;
+  m.delta = 1000;
+  m.late_extra_max = 500;
+  int late = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i)
+    if (m.sample(rng) > m.delta) ++late;
+  EXPECT_NEAR(static_cast<double>(late) / n, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace tw::sim

@@ -1,0 +1,152 @@
+#include "sim/process_service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tw::sim {
+namespace {
+
+struct Rig {
+  Simulator sim{1};
+  ProcessService procs;
+  std::vector<int> starts;
+  std::vector<int> datagrams;
+
+  explicit Rig(int n, SchedModel sched = {}, double rho = 0.0,
+               ClockTime max_offset = 0)
+      : procs(sim, n, sched, rho, max_offset),
+        starts(static_cast<size_t>(n)),
+        datagrams(static_cast<size_t>(n)) {
+    for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+      procs.install(p, ProcessService::Callbacks{
+                           [this, p] { ++starts[p]; },
+                           [this, p](ProcessId, std::vector<std::byte>) {
+                             ++datagrams[p];
+                           }});
+    }
+  }
+};
+
+TEST(ProcessService, StartAllInvokesOnStartOnce) {
+  Rig rig(3);
+  rig.procs.start_all();
+  rig.sim.run();
+  EXPECT_EQ(rig.starts, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ProcessService, CrashSuppressesTriggers) {
+  Rig rig(2);
+  rig.procs.crash(1);
+  EXPECT_FALSE(rig.procs.is_up(1));
+  rig.procs.deliver_datagram(1, 0, {std::byte{1}});
+  rig.sim.run();
+  EXPECT_EQ(rig.datagrams[1], 0);
+}
+
+TEST(ProcessService, CrashCancelsInFlightReactions) {
+  Rig rig(2);
+  // Deliver, then crash before the scheduling delay elapses.
+  rig.procs.deliver_datagram(1, 0, {std::byte{1}});
+  rig.procs.crash(1);
+  rig.sim.run();
+  EXPECT_EQ(rig.datagrams[1], 0);
+}
+
+TEST(ProcessService, RecoveryRestartsStack) {
+  Rig rig(2);
+  rig.procs.start_all();
+  rig.sim.run();
+  rig.procs.crash(1);
+  rig.procs.recover(1);
+  rig.sim.run();
+  EXPECT_EQ(rig.starts[1], 2);
+  EXPECT_EQ(rig.procs.incarnation(1), 2);
+  EXPECT_TRUE(rig.procs.is_up(1));
+}
+
+TEST(ProcessService, TimersRespectCrash) {
+  Rig rig(2);
+  int fired = 0;
+  rig.procs.set_timer_after(1, msec(10), [&] { ++fired; });
+  rig.procs.crash(1);
+  rig.sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ProcessService, TimerFiresAfterDuration) {
+  Rig rig(1);
+  SimTime fired_at = -1;
+  rig.procs.set_timer_after(0, msec(10), [&] { fired_at = rig.sim.now(); });
+  rig.sim.run();
+  EXPECT_GE(fired_at, msec(10));
+  EXPECT_LE(fired_at, msec(10) + SchedModel{}.sigma);
+}
+
+TEST(ProcessService, HwTimerFiresWhenClockReads) {
+  SchedModel sched;
+  Rig rig(2, sched, 1e-4, sec(5));  // skewed, drifting clocks
+  for (ProcessId p : {0u, 1u}) {
+    const ClockTime target = rig.procs.hw_now(p) + msec(50);
+    rig.procs.set_timer_at_hw(p, target, [&rig, p, target] {
+      EXPECT_GE(rig.procs.hw_now(p), target);
+    });
+  }
+  rig.sim.run();
+}
+
+TEST(ProcessService, StallDefersReactions) {
+  Rig rig(2);
+  rig.procs.stall(1, msec(100));
+  rig.procs.deliver_datagram(1, 0, {std::byte{1}});
+  rig.sim.run();
+  EXPECT_EQ(rig.datagrams[1], 1);
+  EXPECT_GE(rig.sim.now(), msec(100));
+}
+
+TEST(ProcessService, SchedulingDelayBoundedBySigmaNormally) {
+  SchedModel sched;
+  sched.min_delay = 10;
+  sched.mean_delay = 50;
+  sched.sigma = msec(2);
+  sched.stall_prob = 0.0;
+  Rig rig(1, sched);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime scheduled = rig.sim.now();
+    bool ran = false;
+    rig.procs.set_timer_after(0, 0, [&rig, scheduled, &ran, &sched] {
+      EXPECT_LE(rig.sim.now() - scheduled, sched.sigma);
+      ran = true;
+    });
+    rig.sim.run();
+    EXPECT_TRUE(ran);
+  }
+}
+
+TEST(ProcessService, StallProbProducesPerformanceFailures) {
+  SchedModel sched;
+  sched.sigma = msec(1);
+  sched.stall_prob = 1.0;
+  sched.stall_extra_max = msec(5);
+  Rig rig(1, sched);
+  const SimTime scheduled = rig.sim.now();
+  rig.procs.set_timer_after(0, 0, [&rig, scheduled, &sched] {
+    EXPECT_GT(rig.sim.now() - scheduled, sched.sigma);
+  });
+  rig.sim.run();
+}
+
+TEST(ProcessService, ClockOffsetsWithinConfiguredRange) {
+  Rig rig(8, SchedModel{}, 1e-5, sec(3));
+  for (ProcessId p = 0; p < 8; ++p) {
+    EXPECT_GE(rig.procs.clock(p).offset(), 0);
+    EXPECT_LE(rig.procs.clock(p).offset(), sec(3));
+    EXPECT_LE(std::abs(rig.procs.clock(p).drift()), 1e-5);
+  }
+}
+
+TEST(ProcessService, RngStreamsPerProcessIndependent) {
+  Rig rig(2);
+  EXPECT_NE(rig.procs.rng(0).next_u64(), rig.procs.rng(1).next_u64());
+}
+
+}  // namespace
+}  // namespace tw::sim

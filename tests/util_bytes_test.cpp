@@ -1,0 +1,138 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/crc32.hpp"
+
+namespace tw::util {
+namespace {
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.25);
+  w.boolean(true);
+  w.boolean(false);
+
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefU);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, VarintRoundTrip) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  300,
+                                  16383,
+                                  16384,
+                                  (1ULL << 32) - 1,
+                                  1ULL << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  ByteWriter w;
+  for (auto v : values) w.var_u64(v);
+  ByteReader r(w.view());
+  for (auto v : values) EXPECT_EQ(r.var_u64(), v);
+  r.expect_done();
+}
+
+TEST(Bytes, SignedVarintRoundTrip) {
+  const std::int64_t values[] = {0, -1, 1, -64, 64, -1000000,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  ByteWriter w;
+  for (auto v : values) w.var_i64(v);
+  ByteReader r(w.view());
+  for (auto v : values) EXPECT_EQ(r.var_i64(), v);
+  r.expect_done();
+}
+
+TEST(Bytes, SmallVarintIsOneByte) {
+  ByteWriter w;
+  w.var_u64(100);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Bytes, StringAndBlobRoundTrip) {
+  ByteWriter w;
+  w.str("hello");
+  w.str("");
+  const std::byte blob[] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  w.bytes(blob);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  const auto out = r.bytes();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], std::byte{3});
+  r.expect_done();
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.view());
+  r.u16();
+  EXPECT_THROW(r.u32(), DecodeError);
+}
+
+TEST(Bytes, TrailingGarbageDetected) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  ByteReader r(w.view());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), DecodeError);
+}
+
+TEST(Bytes, BadBooleanThrows) {
+  ByteWriter w;
+  w.u8(7);
+  ByteReader r(w.view());
+  EXPECT_THROW(r.boolean(), DecodeError);
+}
+
+TEST(Bytes, TruncatedBlobLengthThrows) {
+  ByteWriter w;
+  w.var_u64(1000);  // claims 1000 bytes, provides none
+  ByteReader r(w.view());
+  EXPECT_THROW(r.bytes(), DecodeError);
+}
+
+TEST(Bytes, OverlongVarintThrows) {
+  ByteWriter w;
+  for (int i = 0; i < 11; ++i) w.u8(0x80);
+  ByteReader r(w.view());
+  EXPECT_THROW(r.var_u64(), DecodeError);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32C("123456789") = 0xE3069283.
+  const char* s = "123456789";
+  const auto crc = crc32c(std::as_bytes(std::span(s, 9)));
+  EXPECT_EQ(crc, 0xE3069283U);
+}
+
+TEST(Crc32, DetectsBitFlip) {
+  std::vector<std::byte> data(64, std::byte{0x5a});
+  const auto before = crc32c(data);
+  data[17] ^= std::byte{0x01};
+  EXPECT_NE(before, crc32c(data));
+}
+
+}  // namespace
+}  // namespace tw::util

@@ -1,0 +1,119 @@
+#include "util/process_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tw::util {
+namespace {
+
+TEST(ProcessSet, BasicMembership) {
+  ProcessSet s;
+  EXPECT_TRUE(s.empty());
+  s.insert(3);
+  s.insert(0);
+  s.insert(63);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_FALSE(s.contains(1));
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 2);
+}
+
+TEST(ProcessSet, Full) {
+  const auto s = ProcessSet::full(5);
+  EXPECT_EQ(s.size(), 5);
+  for (ProcessId i = 0; i < 5; ++i) EXPECT_TRUE(s.contains(i));
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_EQ(ProcessSet::full(64).size(), 64);
+}
+
+TEST(ProcessSet, Majority) {
+  EXPECT_TRUE(ProcessSet({0, 1, 2}).is_majority_of(5));
+  EXPECT_FALSE(ProcessSet({0, 1}).is_majority_of(5));
+  EXPECT_FALSE(ProcessSet({0, 1}).is_majority_of(4));  // exactly half: no
+  EXPECT_TRUE(ProcessSet({0, 1, 2}).is_majority_of(4));
+}
+
+TEST(ProcessSet, SetAlgebra) {
+  const ProcessSet a({0, 1, 2});
+  const ProcessSet b({2, 3});
+  EXPECT_EQ(a.union_with(b), ProcessSet({0, 1, 2, 3}));
+  EXPECT_EQ(a.intersect(b), ProcessSet({2}));
+  EXPECT_EQ(a.minus(b), ProcessSet({0, 1}));
+  EXPECT_TRUE(ProcessSet({1, 2}).subset_of(a));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(ProcessSet{}.subset_of(a));
+}
+
+TEST(ProcessSet, CyclicSuccessor) {
+  const ProcessSet g({1, 4, 9});
+  EXPECT_EQ(g.successor_of(1), 4u);
+  EXPECT_EQ(g.successor_of(4), 9u);
+  EXPECT_EQ(g.successor_of(9), 1u);  // wrap
+  // Non-member reference points work too.
+  EXPECT_EQ(g.successor_of(0), 1u);
+  EXPECT_EQ(g.successor_of(5), 9u);
+  EXPECT_EQ(g.successor_of(10), 1u);
+}
+
+TEST(ProcessSet, CyclicPredecessor) {
+  const ProcessSet g({1, 4, 9});
+  EXPECT_EQ(g.predecessor_of(4), 1u);
+  EXPECT_EQ(g.predecessor_of(9), 4u);
+  EXPECT_EQ(g.predecessor_of(1), 9u);  // wrap
+  EXPECT_EQ(g.predecessor_of(0), 9u);
+  EXPECT_EQ(g.predecessor_of(5), 4u);
+}
+
+TEST(ProcessSet, SuccessorPredecessorInverse) {
+  const ProcessSet g({0, 2, 3, 7, 41, 63});
+  for (ProcessId p : g) {
+    EXPECT_EQ(g.predecessor_of(g.successor_of(p)), p);
+    EXPECT_EQ(g.successor_of(g.predecessor_of(p)), p);
+  }
+}
+
+TEST(ProcessSet, SingletonRing) {
+  const ProcessSet g({5});
+  EXPECT_EQ(g.successor_of(5), 5u);
+  EXPECT_EQ(g.predecessor_of(5), 5u);
+}
+
+TEST(ProcessSet, EmptySetEdges) {
+  const ProcessSet g;
+  EXPECT_EQ(g.successor_of(0), kNoProcess);
+  EXPECT_EQ(g.predecessor_of(0), kNoProcess);
+  EXPECT_EQ(g.min(), kNoProcess);
+}
+
+TEST(ProcessSet, RankAndNth) {
+  const ProcessSet g({2, 5, 11});
+  EXPECT_EQ(g.rank_of(2), 0);
+  EXPECT_EQ(g.rank_of(5), 1);
+  EXPECT_EQ(g.rank_of(11), 2);
+  EXPECT_EQ(g.nth(0), 2u);
+  EXPECT_EQ(g.nth(1), 5u);
+  EXPECT_EQ(g.nth(2), 11u);
+}
+
+TEST(ProcessSet, Iteration) {
+  const ProcessSet g({7, 3, 0, 63});
+  std::vector<ProcessId> seen;
+  for (ProcessId p : g) seen.push_back(p);
+  EXPECT_EQ(seen, (std::vector<ProcessId>{0, 3, 7, 63}));
+}
+
+TEST(ProcessSet, ToString) {
+  EXPECT_EQ(ProcessSet({1, 2}).to_string(), "{1,2}");
+  EXPECT_EQ(ProcessSet{}.to_string(), "{}");
+}
+
+TEST(ProcessSet, MaxProcessesBoundEnforced) {
+  ProcessSet s;
+  EXPECT_THROW(s.insert(64), util::AssertionError);
+}
+
+}  // namespace
+}  // namespace tw::util

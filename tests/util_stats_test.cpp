@@ -1,0 +1,59 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tw::util {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, Basics) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Samples, SingleValue) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 42.0);
+}
+
+TEST(Samples, EmptyIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Samples, AddAfterQuery) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1.0);
+  s.add(5.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+}  // namespace
+}  // namespace tw::util
