@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_ablation.dir/scenario_ablation.cpp.o"
+  "CMakeFiles/scenario_ablation.dir/scenario_ablation.cpp.o.d"
+  "scenario_ablation"
+  "scenario_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/scenario_broadcast_semantics.cpp" "bench/CMakeFiles/scenario_broadcast_semantics.dir/scenario_broadcast_semantics.cpp.o" "gcc" "bench/CMakeFiles/scenario_broadcast_semantics.dir/scenario_broadcast_semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/evl/CMakeFiles/tw_evl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocksync/CMakeFiles/tw_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/bcast/CMakeFiles/tw_bcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/gms/CMakeFiles/tw_gms.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tw_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_broadcast_semantics.dir/scenario_broadcast_semantics.cpp.o"
+  "CMakeFiles/scenario_broadcast_semantics.dir/scenario_broadcast_semantics.cpp.o.d"
+  "scenario_broadcast_semantics"
+  "scenario_broadcast_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_broadcast_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

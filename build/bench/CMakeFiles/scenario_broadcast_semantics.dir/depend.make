@@ -1,0 +1,2 @@
+# Empty dependencies file for scenario_broadcast_semantics.
+# This may be replaced when dependencies are built.

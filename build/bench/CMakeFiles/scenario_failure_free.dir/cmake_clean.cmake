@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_failure_free.dir/scenario_failure_free.cpp.o"
+  "CMakeFiles/scenario_failure_free.dir/scenario_failure_free.cpp.o.d"
+  "scenario_failure_free"
+  "scenario_failure_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_failure_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_false_suspicion.dir/scenario_false_suspicion.cpp.o"
+  "CMakeFiles/scenario_false_suspicion.dir/scenario_false_suspicion.cpp.o.d"
+  "scenario_false_suspicion"
+  "scenario_false_suspicion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_false_suspicion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

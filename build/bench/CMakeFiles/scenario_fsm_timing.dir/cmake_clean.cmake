@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_fsm_timing.dir/scenario_fsm_timing.cpp.o"
+  "CMakeFiles/scenario_fsm_timing.dir/scenario_fsm_timing.cpp.o.d"
+  "scenario_fsm_timing"
+  "scenario_fsm_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_fsm_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

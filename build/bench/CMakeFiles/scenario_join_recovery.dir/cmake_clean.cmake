@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_join_recovery.dir/scenario_join_recovery.cpp.o"
+  "CMakeFiles/scenario_join_recovery.dir/scenario_join_recovery.cpp.o.d"
+  "scenario_join_recovery"
+  "scenario_join_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_join_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

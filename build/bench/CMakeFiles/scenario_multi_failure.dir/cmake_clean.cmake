@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_multi_failure.dir/scenario_multi_failure.cpp.o"
+  "CMakeFiles/scenario_multi_failure.dir/scenario_multi_failure.cpp.o.d"
+  "scenario_multi_failure"
+  "scenario_multi_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_multi_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_single_failure.dir/scenario_single_failure.cpp.o"
+  "CMakeFiles/scenario_single_failure.dir/scenario_single_failure.cpp.o.d"
+  "scenario_single_failure"
+  "scenario_single_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_single_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_baseline.dir/attendance_ring.cpp.o"
+  "CMakeFiles/tw_baseline.dir/attendance_ring.cpp.o.d"
+  "CMakeFiles/tw_baseline.dir/heartbeat.cpp.o"
+  "CMakeFiles/tw_baseline.dir/heartbeat.cpp.o.d"
+  "libtw_baseline.a"
+  "libtw_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_bcast.dir/delivery.cpp.o"
+  "CMakeFiles/tw_bcast.dir/delivery.cpp.o.d"
+  "CMakeFiles/tw_bcast.dir/messages.cpp.o"
+  "CMakeFiles/tw_bcast.dir/messages.cpp.o.d"
+  "CMakeFiles/tw_bcast.dir/oal.cpp.o"
+  "CMakeFiles/tw_bcast.dir/oal.cpp.o.d"
+  "libtw_bcast.a"
+  "libtw_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_clocksync.dir/clock_sync.cpp.o"
+  "CMakeFiles/tw_clocksync.dir/clock_sync.cpp.o.d"
+  "libtw_clocksync.a"
+  "libtw_clocksync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evl/dispatch.cpp" "src/evl/CMakeFiles/tw_evl.dir/dispatch.cpp.o" "gcc" "src/evl/CMakeFiles/tw_evl.dir/dispatch.cpp.o.d"
+  "/root/repo/src/evl/event_loop.cpp" "src/evl/CMakeFiles/tw_evl.dir/event_loop.cpp.o" "gcc" "src/evl/CMakeFiles/tw_evl.dir/event_loop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

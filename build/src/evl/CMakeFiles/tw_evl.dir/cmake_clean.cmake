@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_evl.dir/dispatch.cpp.o"
+  "CMakeFiles/tw_evl.dir/dispatch.cpp.o.d"
+  "CMakeFiles/tw_evl.dir/event_loop.cpp.o"
+  "CMakeFiles/tw_evl.dir/event_loop.cpp.o.d"
+  "libtw_evl.a"
+  "libtw_evl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_evl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

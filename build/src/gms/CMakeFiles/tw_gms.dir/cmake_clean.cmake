@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_gms.dir/failure_detector.cpp.o"
+  "CMakeFiles/tw_gms.dir/failure_detector.cpp.o.d"
+  "CMakeFiles/tw_gms.dir/messages.cpp.o"
+  "CMakeFiles/tw_gms.dir/messages.cpp.o.d"
+  "CMakeFiles/tw_gms.dir/repair.cpp.o"
+  "CMakeFiles/tw_gms.dir/repair.cpp.o.d"
+  "CMakeFiles/tw_gms.dir/sim_harness.cpp.o"
+  "CMakeFiles/tw_gms.dir/sim_harness.cpp.o.d"
+  "CMakeFiles/tw_gms.dir/timewheel_node.cpp.o"
+  "CMakeFiles/tw_gms.dir/timewheel_node.cpp.o.d"
+  "libtw_gms.a"
+  "libtw_gms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_gms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

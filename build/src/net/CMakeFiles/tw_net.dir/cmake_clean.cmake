@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_net.dir/sim_transport.cpp.o"
+  "CMakeFiles/tw_net.dir/sim_transport.cpp.o.d"
+  "CMakeFiles/tw_net.dir/udp_transport.cpp.o"
+  "CMakeFiles/tw_net.dir/udp_transport.cpp.o.d"
+  "libtw_net.a"
+  "libtw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tw_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tw_sim.dir/network.cpp.o"
+  "CMakeFiles/tw_sim.dir/network.cpp.o.d"
+  "CMakeFiles/tw_sim.dir/process_service.cpp.o"
+  "CMakeFiles/tw_sim.dir/process_service.cpp.o.d"
+  "CMakeFiles/tw_sim.dir/random.cpp.o"
+  "CMakeFiles/tw_sim.dir/random.cpp.o.d"
+  "CMakeFiles/tw_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tw_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/tw_sim.dir/trace.cpp.o"
+  "CMakeFiles/tw_sim.dir/trace.cpp.o.d"
+  "libtw_sim.a"
+  "libtw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_util.dir/bytes.cpp.o"
+  "CMakeFiles/tw_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/tw_util.dir/crc32.cpp.o"
+  "CMakeFiles/tw_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/tw_util.dir/logging.cpp.o"
+  "CMakeFiles/tw_util.dir/logging.cpp.o.d"
+  "CMakeFiles/tw_util.dir/stats.cpp.o"
+  "CMakeFiles/tw_util.dir/stats.cpp.o.d"
+  "libtw_util.a"
+  "libtw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcast_delivery_test.dir/bcast_delivery_test.cpp.o"
+  "CMakeFiles/bcast_delivery_test.dir/bcast_delivery_test.cpp.o.d"
+  "bcast_delivery_test"
+  "bcast_delivery_test.pdb"
+  "bcast_delivery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcast_delivery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcast_oal_test.dir/bcast_oal_test.cpp.o"
+  "CMakeFiles/bcast_oal_test.dir/bcast_oal_test.cpp.o.d"
+  "bcast_oal_test"
+  "bcast_oal_test.pdb"
+  "bcast_oal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcast_oal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

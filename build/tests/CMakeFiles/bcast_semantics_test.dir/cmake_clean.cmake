@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcast_semantics_test.dir/bcast_semantics_test.cpp.o"
+  "CMakeFiles/bcast_semantics_test.dir/bcast_semantics_test.cpp.o.d"
+  "bcast_semantics_test"
+  "bcast_semantics_test.pdb"
+  "bcast_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcast_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

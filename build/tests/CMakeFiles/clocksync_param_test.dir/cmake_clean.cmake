@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocksync_param_test.dir/clocksync_param_test.cpp.o"
+  "CMakeFiles/clocksync_param_test.dir/clocksync_param_test.cpp.o.d"
+  "clocksync_param_test"
+  "clocksync_param_test.pdb"
+  "clocksync_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocksync_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

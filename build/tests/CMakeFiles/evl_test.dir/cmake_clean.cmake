@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evl_test.dir/evl_test.cpp.o"
+  "CMakeFiles/evl_test.dir/evl_test.cpp.o.d"
+  "evl_test"
+  "evl_test.pdb"
+  "evl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_drop_matrix_test.dir/gms_drop_matrix_test.cpp.o"
+  "CMakeFiles/gms_drop_matrix_test.dir/gms_drop_matrix_test.cpp.o.d"
+  "gms_drop_matrix_test"
+  "gms_drop_matrix_test.pdb"
+  "gms_drop_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_drop_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

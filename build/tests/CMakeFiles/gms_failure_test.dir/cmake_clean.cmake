@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_failure_test.dir/gms_failure_test.cpp.o"
+  "CMakeFiles/gms_failure_test.dir/gms_failure_test.cpp.o.d"
+  "gms_failure_test"
+  "gms_failure_test.pdb"
+  "gms_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

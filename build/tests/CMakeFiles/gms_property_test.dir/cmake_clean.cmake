@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_property_test.dir/gms_property_test.cpp.o"
+  "CMakeFiles/gms_property_test.dir/gms_property_test.cpp.o.d"
+  "gms_property_test"
+  "gms_property_test.pdb"
+  "gms_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

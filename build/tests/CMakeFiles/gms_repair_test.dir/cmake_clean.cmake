@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_repair_test.dir/gms_repair_test.cpp.o"
+  "CMakeFiles/gms_repair_test.dir/gms_repair_test.cpp.o.d"
+  "gms_repair_test"
+  "gms_repair_test.pdb"
+  "gms_repair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

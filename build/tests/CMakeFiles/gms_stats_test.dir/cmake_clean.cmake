@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_stats_test.dir/gms_stats_test.cpp.o"
+  "CMakeFiles/gms_stats_test.dir/gms_stats_test.cpp.o.d"
+  "gms_stats_test"
+  "gms_stats_test.pdb"
+  "gms_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

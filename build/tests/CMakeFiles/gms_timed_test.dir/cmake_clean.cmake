@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_timed_test.dir/gms_timed_test.cpp.o"
+  "CMakeFiles/gms_timed_test.dir/gms_timed_test.cpp.o.d"
+  "gms_timed_test"
+  "gms_timed_test.pdb"
+  "gms_timed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_timed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

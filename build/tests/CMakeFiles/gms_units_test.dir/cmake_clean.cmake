@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_units_test.dir/gms_units_test.cpp.o"
+  "CMakeFiles/gms_units_test.dir/gms_units_test.cpp.o.d"
+  "gms_units_test"
+  "gms_units_test.pdb"
+  "gms_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_transport_test.dir/net_transport_test.cpp.o"
+  "CMakeFiles/net_transport_test.dir/net_transport_test.cpp.o.d"
+  "net_transport_test"
+  "net_transport_test.pdb"
+  "net_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

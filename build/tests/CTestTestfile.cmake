@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_bytes_test[1]_include.cmake")
+include("/root/repo/build/tests/util_process_set_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_clock_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_network_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_process_test[1]_include.cmake")
+include("/root/repo/build/tests/evl_test[1]_include.cmake")
+include("/root/repo/build/tests/clocksync_test[1]_include.cmake")
+include("/root/repo/build/tests/clocksync_param_test[1]_include.cmake")
+include("/root/repo/build/tests/bcast_oal_test[1]_include.cmake")
+include("/root/repo/build/tests/bcast_delivery_test[1]_include.cmake")
+include("/root/repo/build/tests/gms_repair_test[1]_include.cmake")
+include("/root/repo/build/tests/gms_units_test[1]_include.cmake")
+include("/root/repo/build/tests/gms_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/gms_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/gms_property_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/net_transport_test[1]_include.cmake")
+include("/root/repo/build/tests/gms_timed_test[1]_include.cmake")
+include("/root/repo/build/tests/bcast_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/gms_drop_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/gms_stats_test[1]_include.cmake")
