@@ -1,0 +1,93 @@
+// Torture-sweep experiment: run the fault-injection engine over seed
+// batches with different fault families enabled and record verdicts plus
+// the fault-model accounting the oracle checks. The headline row (all
+// families) is the configuration behind the "N seeds, 0 violations" claim
+// in EXPERIMENTS.md; the ablation rows show each family exercises the run
+// (nonzero injected-fault counters) without breaking convergence.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "torture/engine.hpp"
+
+namespace tw::bench {
+namespace {
+
+constexpr std::uint64_t kFirstSeed = 1;
+
+torture::TortureConfig base_config() {
+  torture::TortureConfig cfg;
+  // The CLI default is a 15s fault window; the bench compresses it so the
+  // full ablation table runs in seconds while still spanning several
+  // decider rotations per run.
+  cfg.fault_start = sim::sec(2);
+  cfg.fault_end = sim::sec(8);
+  cfg.settle = sim::sec(30);
+  cfg.quiet_tail = sim::sec(2);
+  return cfg;
+}
+
+void sweep_row(const char* label, const torture::TortureConfig& cfg,
+               int seeds) {
+  const torture::TortureEngine engine(cfg);
+  const auto wall_start = std::chrono::steady_clock::now();
+  int converged = 0;
+  std::uint64_t delivered = 0, duplicated = 0, reordered = 0, corrupted = 0;
+  int violations = 0;
+  for (std::uint64_t seed = kFirstSeed;
+       seed < kFirstSeed + static_cast<std::uint64_t>(seeds); ++seed) {
+    const torture::RunResult r = engine.run_seed(seed);
+    violations += static_cast<int>(r.report.violations.size());
+    if (r.report.converged) ++converged;
+    delivered += r.report.delivered;
+    duplicated += r.report.duplicated;
+    reordered += r.report.reordered;
+    corrupted += r.report.corrupted;
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  std::printf(
+      "%-14s %5d %10d %9d/%-3d %9llu %6llu %6llu %6llu %8.0f\n", label,
+      seeds, violations, converged, seeds,
+      static_cast<unsigned long long>(delivered),
+      static_cast<unsigned long long>(duplicated),
+      static_cast<unsigned long long>(reordered),
+      static_cast<unsigned long long>(corrupted), wall_ms / seeds);
+}
+
+void run() {
+  print_header("torture sweep (family ablation)",
+               "family         seeds violations converged  delivered    "
+               "dup  reord  corru  ms/seed");
+
+  sweep_row("all", base_config(), 40);
+
+  // Message faults only: drops, duplication, reordering, corruption.
+  torture::TortureConfig msg = base_config();
+  msg.crashes = msg.stalls = msg.partitions = msg.clock_faults = false;
+  sweep_row("message-only", msg, 20);
+
+  // Process faults only: crashes, recoveries, stalls, partitions.
+  torture::TortureConfig proc = base_config();
+  proc.drops = proc.duplication = proc.reordering = proc.corruption = false;
+  proc.clock_faults = false;
+  proc.model = sim::NetFaultModel{};
+  sweep_row("process-only", proc, 20);
+
+  // Clock faults only: hardware-clock steps and drift changes.
+  torture::TortureConfig clk = base_config();
+  clk.crashes = clk.stalls = clk.partitions = false;
+  clk.drops = clk.duplication = clk.reordering = clk.corruption = false;
+  clk.model = sim::NetFaultModel{};
+  sweep_row("clock-only", clk, 20);
+}
+
+}  // namespace
+}  // namespace tw::bench
+
+int main() {
+  tw::bench::run();
+  return 0;
+}

@@ -27,8 +27,9 @@ bool DeliveryEngine::note_proposal(const Proposal& p, sim::ClockTime sync_now) {
   // delivery/purge; re-delivering a late duplicate would violate safety.
   const auto fit = forgotten_below_.find(p.id.proposer);
   if (fit != forgotten_below_.end() && p.id.seq <= fit->second &&
-      !slots_.contains(p.id))
+      !slots_.contains(p.id)) {
     return false;
+  }
   Slot& s = slots_[p.id];
   if (s.have) {
     // A re-broadcast from the proposer refreshes the timestamp of a
@@ -94,6 +95,16 @@ void DeliveryEngine::adopt_oal(const Oal& oal) {
       s.proposal.atomicity = e.atomicity;
       s.proposal.hdo = e.hdo;
       s.proposal.send_ts = e.ts;
+      // If the forgotten watermark covers this pid, a slot for it was
+      // already delivered (or purged undeliverable) here and then erased.
+      // The tombstone check in note_proposal only guards receipts while NO
+      // slot exists; recreating a header slot would let a later payload
+      // receipt slip past it and be delivered a second time. Mark the slot
+      // delivered so the stream passes over it instead.
+      const auto fit = forgotten_below_.find(e.pid.proposer);
+      if (!s.delivered && fit != forgotten_below_.end() &&
+          e.pid.seq <= fit->second)
+        s.delivered = true;
     }
   }
   // The stream may never have to wait for ordinals that were purged as
@@ -242,16 +253,14 @@ std::vector<const Proposal*> DeliveryEngine::unordered_proposals(
     if (sync_now - s.proposal.send_ts > max_age)
       continue;  // stale copy: a binding may have existed and been purged
     if (has_history && pid.seq < expected) {
-      // History (oal windows and transfer marks) claims this sequence is
-      // already ordered. If the proposal has nevertheless stayed alive for
-      // more than a full cycle (its proposer keeps restamping it, and a
-      // proposer never restamps a proposal whose binding it has seen), the
-      // claim must come from a dead fork absorbed while we were outside
-      // the group: trust the proposer and order it (in seq order, so FIFO
-      // holds within this batch). Younger copies are skipped — their
-      // binding may simply still be in flight.
-      if (s.first_seen >= 0 && sync_now - s.first_seen > gap_grace)
-        out.push_back(&s.proposal);
+      // History (oal windows and transfer marks) already covers this
+      // sequence: either its binding exists in an oal window we have not
+      // adopted yet (it will deliver at that ordinal once adopted — the
+      // payload is kept for exactly that), or a decider deliberately
+      // jumped the gap after the grace expired and the sequence is
+      // forfeited. Both cases forbid ordering it NOW: a fresh binding
+      // would place it after this proposer's already-ordered later
+      // sequences and invert the proposer's FIFO order everywhere.
       continue;
     }
     if (proposer_blocked) continue;  // FIFO: held behind a gap
@@ -280,10 +289,15 @@ ProposalSeq DeliveryEngine::max_ordered_seq(ProcessId proposer) const {
 std::vector<const Proposal*> DeliveryEngine::stale_unordered_from(
     ProcessId proposer, sim::ClockTime sync_now, sim::Duration age) const {
   std::vector<const Proposal*> out;
+  const auto mit = max_ordered_seq_.find(proposer);
   for (const auto& [pid, s] : slots_) {
     if (pid.proposer != proposer) continue;
     if (!s.have || s.ordinal != kNoOrdinal) continue;
     if (s.oal_undeliverable) continue;
+    // Adopted history covers this sequence, so no decider may bind it at a
+    // fresh ordinal anymore (see unordered_proposals): the update is
+    // forfeited and re-broadcasting it is wasted traffic.
+    if (mit != max_ordered_seq_.end() && pid.seq <= mit->second) continue;
     if (sync_now - s.proposal.send_ts >= age) out.push_back(&s.proposal);
   }
   return out;
@@ -332,17 +346,28 @@ void DeliveryEngine::import_transfer_marks(const TransferMarks& marks) {
   }
   // Proposals buffered before the join whose ordering epoch has already
   // passed (ordered & possibly purged elsewhere) must not be re-ordered or
-  // re-delivered here: drop any unbound slot at or below the marks.
+  // re-delivered here: drop any undelivered slot at or below the marks.
+  // That includes slots bound under a branch that lost — we may have been
+  // excluded while a different history completed, and re-delivering such a
+  // binding after the transfer would duplicate an update the transferred
+  // state already reflects.
   for (auto it = slots_.begin(); it != slots_.end();) {
-    const auto& [pid, s] = *it;
+    auto& [pid, s] = *it;
     const auto oit = max_ordered_seq_.find(pid.proposer);
     const bool below_ordered =
         oit != max_ordered_seq_.end() && pid.seq <= oit->second;
-    if (below_ordered && s.ordinal == kNoOrdinal && !s.delivered) {
+    if (below_ordered && !s.delivered) {
       it = slots_.erase(it);
-    } else {
-      ++it;
+      continue;
     }
+    if (!s.delivered && s.ordinal != kNoOrdinal) {
+      // Binding from before the transfer: it may belong to a dead fork.
+      // Forget it — the transferrer's oal is adopted right after this and
+      // re-binds every ordering the winning history actually contains.
+      s.ordinal = kNoOrdinal;
+      s.oal_undeliverable = false;
+    }
+    ++it;
   }
   retire_covered_delivered();
 }

@@ -57,6 +57,7 @@ std::vector<std::byte> Join::encode() const {
   w.var_i64(send_ts);
   w.u64(join_list.bits());
   w.var_i64(last_decision_ts);
+  w.var_u64(gid);
   return std::move(w).take();
 }
 
@@ -65,6 +66,7 @@ Join Join::decode(util::ByteReader& r) {
   m.send_ts = r.var_i64();
   m.join_list = util::ProcessSet(r.u64());
   m.last_decision_ts = r.var_i64();
+  m.gid = r.var_u64();
   r.expect_done();
   return m;
 }

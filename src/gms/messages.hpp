@@ -38,6 +38,12 @@ struct Join {
   /// lets the join protocol elect the most-knowledgeable process as the
   /// first decider and ship state transfers to stale joiners.
   sim::ClockTime last_decision_ts = -1;
+  /// Id of the sender's last installed group (0 if it never installed a
+  /// view this incarnation). The continuity rule only counts a process as
+  /// carrying a group's history when it proves membership knowledge at
+  /// least that fresh — a crash-recovered process lost its replica state
+  /// and must not contribute to the old group's survivor majority.
+  GroupId gid = 0;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
   static Join decode(util::ByteReader& r);

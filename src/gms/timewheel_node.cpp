@@ -94,8 +94,13 @@ void TimewheelNode::on_start() {
   // recovery they are volatile state and correctly lost.
   auto kept = ever_started_ ? decltype(pending_proposals_){}
                             : std::move(pending_proposals_);
+  const bool recovery = ever_started_;
   ever_started_ = true;
   full_reset();
+  // A recovered incarnation keeps its durable application state but lost
+  // the engine's delivery/ordering marks: hold deliveries until a state
+  // transfer re-baselines both (install_view/deliver_to_app check this).
+  recovered_dirty_ = recovery;
   pending_proposals_ = std::move(kept);
   clock_.start();
   ep_.trace(TraceKind::node_started);
@@ -159,9 +164,18 @@ void TimewheelNode::arm_sync_timer(net::TimerId& timer, sim::ClockTime target,
       std::max<sim::ClockTime>(ep_.hw_now(),
                                target - clock_.current_offset());
   timer = ep_.set_timer_at_hw(hw_target, [this, &timer, target, fn] {
-    timer = net::kNoTimer;
     const auto t = sync_now();
-    if (!t) return;  // desync handling takes over
+    if (!t) {
+      // Transient desync at fire time. The desync transition (noticed
+      // inside sync_now) cancels the timers it wants dead — those read
+      // kNoTimer here and stay dead. Everything else must survive the
+      // blip, or a join-state node whose clock sync lapses at exactly the
+      // wrong instant loses its slot cadence forever and wedges the whole
+      // team's re-formation. Re-arm through the !now polling path.
+      if (timer != net::kNoTimer) arm_sync_timer(timer, target, fn);
+      return;
+    }
+    timer = net::kNoTimer;
     if (*t < target) {
       arm_sync_timer(timer, target, fn);  // offset moved; re-arm
       return;
@@ -746,8 +760,7 @@ void TimewheelNode::send_decision(sim::ClockTime now) {
       group_.insert(j);
       joiner_set.insert(j);
     }
-    gid_ = std::max(gid_ + 1,
-                    static_cast<GroupId>(now / cfg_.slot_len()));
+    gid_ = next_gid(now);
     oal.append_membership(gid_, group_, now);
     install_view(gid_, group_, now);
     ep_.trace(TraceKind::group_created, gid_, 0, group_);
@@ -809,8 +822,11 @@ void TimewheelNode::send_state_transfer(ProcessId to,
 
 void TimewheelNode::handle_state_request(ProcessId from) {
   const auto now = sync_now();
-  if (!now || !in_group()) return;
-  // A (re)joiner lost its state transfer; any member can re-supply it.
+  // A (re)joiner lost its state transfer; any member can re-supply it —
+  // except one that is itself waiting to be re-baselined after a crash
+  // recovery (its application state and engine marks are incoherent). The
+  // requester's ring walk reaches a clean member on a later retry.
+  if (!now || !in_group() || recovered_dirty_ || awaiting_state_) return;
   send_state_transfer(from, *now);
 }
 
@@ -942,10 +958,14 @@ void TimewheelNode::handle_no_decision(ProcessId from, NoDecision nd) {
   const auto now_opt = sync_now();
   if (!now_opt) return;
   const sim::ClockTime now = *now_opt;
-  if (!accept_control(from, nd.send_ts, nd.alive, now)) return;
+  if (!accept_control(from, nd.send_ts, nd.alive, now)) {
+    return;
+  }
   // A no-decision older than the freshest decision belongs to an episode
   // that a decision already resolved; it must not feed a new election.
-  if (nd.send_ts <= last_decision_ts_) return;
+  if (nd.send_ts <= last_decision_ts_) {
+    return;
+  }
 
   nd_infos_[from] = ElectionInfo{nd.view, nd.dpd, nd.send_ts, nd.suspect};
 
@@ -1049,6 +1069,15 @@ void TimewheelNode::become_decider_wrong_suspicion(sim::ClockTime now) {
 
 void TimewheelNode::close_single_failure_election(sim::ClockTime now) {
   const int majority = n_ / 2 + 1;
+  // Reaching here already proves ring-wide participation: the no-decision
+  // ring is sequential (each member forwards only after hearing its own
+  // ring predecessor name the same suspect), so the suspect's predecessor
+  // closing on its predecessor's ND transitively certifies that every
+  // member of group_ minus the suspect spoke this episode. A healed
+  // partition's stale minority cannot complete the ring — members that
+  // installed a newer group ignore old-group no-decisions, so the chain
+  // stalls at the first such member and the FD escalates to the
+  // multiple-failure election instead.
   if (group_.size() - 1 >= majority) {
     // Remove the suspect and take the decider role.
     util::ProcessSet members = group_;
@@ -1074,12 +1103,36 @@ void TimewheelNode::close_single_failure_election(sim::ClockTime now) {
 // Group creation (single-failure close, reconfiguration win, initial join)
 // ---------------------------------------------------------------------------
 
+GroupId TimewheelNode::next_gid(sim::ClockTime now) const {
+  // Group ids must be unique across epochs even when no process carries
+  // the previous epoch's counter, and unique across CONCURRENT creators:
+  // two election paths can legitimately close in the same slot (e.g. a
+  // single-failure close racing a healed partition's re-formation), and a
+  // shared id with divergent member lists would violate the §3 view
+  // agreement even though the later repair machinery reconciles the
+  // histories. Take the slot index — monotone in synchronized time — as
+  // the high digits and the creator id as the low digits: ids stay
+  // strictly increasing per process and can never collide across creators.
+  const auto base = std::max(
+      gid_ / static_cast<GroupId>(n_) + 1,
+      static_cast<GroupId>(now / cfg_.slot_len()));
+  return base * static_cast<GroupId>(n_) + static_cast<GroupId>(self());
+}
+
 void TimewheelNode::create_group(util::ProcessSet members,
                                  util::ProcessSet departed,
                                  std::vector<bcast::ProposalId> extra_dpds,
                                  const std::vector<ProcessId>& joiners,
                                  sim::ClockTime now) {
   TW_ASSERT(members.contains(self()));
+
+  // Creating a group makes our merged knowledge the new baseline: the join
+  // knowledge rule only put us in charge because nobody fresher answered,
+  // so no state transfer is coming and holding deliveries would wedge us.
+  if (recovered_dirty_) {
+    recovered_dirty_ = false;
+    flush_buffered_deliveries();
+  }
 
   // Merge the views received from the other new members so ack knowledge is
   // complete before classifying lost proposals.
@@ -1113,12 +1166,8 @@ void TimewheelNode::create_group(util::ProcessSet members,
     repaired.oal.reset_base(static_cast<Ordinal>(now));
   }
 
-  // Group ids must be unique across epochs even when no process carries the
-  // previous epoch's counter: take them from the slot index, which is
-  // monotone in synchronized time and distinct per creator slot.
   ++stats_.groups_created;
-  gid_ = std::max(gid_ + 1,
-                  static_cast<GroupId>(now / cfg_.slot_len()));
+  gid_ = next_gid(now);
   group_ = members;
   repaired.oal.append_membership(gid_, group_, now);
   ep_.trace(TraceKind::group_created, gid_,
@@ -1285,7 +1334,12 @@ void TimewheelNode::send_join(sim::ClockTime now) {
   j.send_ts = std::max(now, fd_.last_ts_from(self()) + 1);
   j.join_list = current_join_list(slots_.slot_index(now));
   j.last_decision_ts = last_decision_ts_;
-  join_infos_[self()] = JoinInfo{j.join_list, j.send_ts, last_decision_ts_};
+  // gid_ survives a desync (knowledge is stale, not lost) and is zeroed by
+  // full_reset, so it is exactly "the freshest group whose history we still
+  // carry" — which is what the continuity rule needs to see.
+  j.gid = gid_;
+  join_infos_[self()] =
+      JoinInfo{j.join_list, j.send_ts, last_decision_ts_, j.gid};
   auto bytes = j.encode();
   last_control_sent_ = bytes;
   ep_.broadcast(std::move(bytes));
@@ -1310,8 +1364,32 @@ void TimewheelNode::join_slot_duties(sim::ClockTime now, std::int64_t slot) {
   // majority OF THAT GROUP — otherwise the members holding its latest
   // history may be absent and their completed-majority history would be
   // orphaned (forked ordinals). Fresh processes are unconstrained.
-  if (installed_ && !group_.empty()) {
-    const auto carried = my_list.intersect(group_);
+  //
+  // Membership alone is not carrying: a member that crashed and recovered
+  // lost its replica state, so counting it here would let a stale minority
+  // plus an amnesiac "survivor" fake the old group's majority and fork the
+  // ordinal space. A process only counts when its join advertises group
+  // knowledge at least as fresh as ours (its installed gid >= gid_).
+  //
+  // Deliberately NOT gated on installed_: a desync (or an eavesdropped
+  // exclusion) clears installed_ but keeps group_/gid_ — such a process
+  // still remembers the group and must honor its continuity; only a
+  // full_reset (crash recovery) clears group_ and lifts the constraint.
+  //
+  // Exception: when EVERY team member is in the join dance, the knowledge
+  // rule below sees every process's history and provably elects the
+  // freshest one — no group can be running elsewhere, so there is no
+  // branch to orphan. Without this escape, a group whose other members all
+  // crashed (serially, each under a live team majority) could never be
+  // succeeded: its last survivor would wait for carriers that no longer
+  // exist while its superior knowledge blocks everyone else.
+  const bool whole_team_joining =
+      my_list == util::ProcessSet::full(static_cast<ProcessId>(n_));
+  if (!group_.empty() && !whole_team_joining) {
+    util::ProcessSet carried;
+    for (ProcessId q : my_list.intersect(group_)) {
+      if (q == self() || join_infos_[q].gid >= gid_) carried.insert(q);
+    }
     if (2 * carried.size() <= group_.size()) {
       send_join(now);
       return;
@@ -1363,7 +1441,8 @@ void TimewheelNode::handle_join(ProcessId from, Join j) {
   if (!now_opt) return;
   const sim::ClockTime now = *now_opt;
   if (!accept_control(from, j.send_ts, j.join_list, now)) return;
-  join_infos_[from] = JoinInfo{j.join_list, j.send_ts, j.last_decision_ts};
+  join_infos_[from] =
+      JoinInfo{j.join_list, j.send_ts, j.last_decision_ts, j.gid};
   // Group members see the joiner through the FD's alive-list; the right
   // decider will integrate it (§4.2). Nothing else to do here.
 }
@@ -1405,8 +1484,9 @@ void TimewheelNode::handle_state_transfer(ProcessId from, StateTransfer st) {
   });
   for (const auto& p : st.proposals) delivery_.note_proposal(p, now);
   delivery_.adopt_oal(st.oal);
-  if (awaiting_state_) {
+  if (awaiting_state_ || recovered_dirty_) {
     awaiting_state_ = false;
+    recovered_dirty_ = false;  // app state and engine marks re-baselined
     cancel_timer(state_wait_timer_);
     flush_buffered_deliveries();
   }
@@ -1425,7 +1505,8 @@ void TimewheelNode::install_view(GroupId gid, util::ProcessSet members,
   if (app_.view_change) app_.view_change(gid, members);
 
   if (!was_member && members.contains(self())) {
-    if (expect_state_transfer && state_ == GcState::join) {
+    if ((expect_state_transfer || recovered_dirty_) &&
+        state_ == GcState::join) {
       // Joining a pre-existing group: hold application deliveries until the
       // state transfer has installed the base state (or a timeout passes —
       // the integrating decider may have crashed right after deciding).
@@ -1446,6 +1527,7 @@ void TimewheelNode::retry_state_request() {
     TW_WARN("p" << self() << ": state transfer still missing after "
                 << state_request_retries_ << " requests; giving up");
     awaiting_state_ = false;
+    recovered_dirty_ = false;
     flush_buffered_deliveries();
     return;
   }
@@ -1468,7 +1550,12 @@ void TimewheelNode::deliver_to_app(const bcast::Proposal& p,
   ep_.trace(TraceKind::delivered, ordinal, p.id.proposer,
             util::ProcessSet{},
             std::to_string(p.id.proposer) + "." + std::to_string(p.id.seq));
-  if (awaiting_state_) {
+  TW_DEBUG("p" << self() << " delivers " << p.id.proposer << "."
+               << p.id.seq << " at "
+               << (ordinal == kNoOrdinal ? -1
+                                         : static_cast<long long>(ordinal))
+               << (awaiting_state_ || recovered_dirty_ ? " (buffered)" : ""));
+  if (awaiting_state_ || recovered_dirty_) {
     buffered_deliveries_.emplace_back(p, ordinal);
     return;
   }

@@ -161,6 +161,9 @@ class TimewheelNode final : public net::Handler {
   void become_decider_wrong_suspicion(sim::ClockTime now);
   /// Create a new group as decider: repair the oal, install, send the
   /// first decision (and state transfers to joiners).
+  /// Allocate the id for a group created now: strictly greater than gid_,
+  /// unique across concurrent creators (creator id in the low digits).
+  [[nodiscard]] GroupId next_gid(sim::ClockTime now) const;
   void create_group(util::ProcessSet members, util::ProcessSet departed,
                     std::vector<bcast::ProposalId> extra_dpds,
                     const std::vector<ProcessId>& joiners,
@@ -233,6 +236,7 @@ class TimewheelNode final : public net::Handler {
     util::ProcessSet list;
     sim::ClockTime ts = -1;
     sim::ClockTime last_decision_ts = -1;
+    GroupId gid = 0;  ///< sender's last installed group this incarnation
   };
   std::vector<JoinInfo> join_infos_;
 
@@ -263,6 +267,11 @@ class TimewheelNode final : public net::Handler {
   // Joiner-side state transfer: buffer app deliveries between installing a
   // pre-existing group's view and receiving the state-transfer message.
   bool awaiting_state_ = false;
+  /// True from a crash recovery until a state transfer rehabilitates this
+  /// incarnation: durable application state may reflect deliveries the
+  /// (volatile) broadcast engine no longer remembers, so application
+  /// deliveries are buffered to avoid handing the same update over twice.
+  bool recovered_dirty_ = false;
   std::vector<std::pair<bcast::Proposal, Ordinal>> buffered_deliveries_;
   net::TimerId state_wait_timer_ = net::kNoTimer;
   int state_request_retries_ = 0;

@@ -113,7 +113,10 @@ void UdpEndpoint::on_readable() {
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n <= 0) return;  // EWOULDBLOCK or error: nothing more to read
     if (cluster_.crashed_[id_].load(std::memory_order_relaxed)) continue;
-    if (n < 8) continue;  // runt
+    if (n < 8) {  // runt: too short to even carry the integrity header
+      crc_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     if (cluster_.cfg_.drop_prob > 0.0) {
       const double u = static_cast<double>(xorshift(drop_state_) >> 11) *
                        0x1.0p-53;
@@ -123,6 +126,7 @@ void UdpEndpoint::on_readable() {
     util::ByteReader header(frame_bytes.subspan(0, 4));
     const std::uint32_t crc = header.u32();
     if (crc != util::crc32c(frame_bytes.subspan(4))) {
+      crc_dropped_.fetch_add(1, std::memory_order_relaxed);
       TW_WARN("udp member " << id_ << ": CRC mismatch, dropping datagram");
       continue;
     }

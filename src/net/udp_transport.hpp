@@ -50,6 +50,11 @@ class UdpEndpoint final : public Endpoint {
   TimerId set_timer_after(sim::Duration d, std::function<void()> fn) override;
   void cancel_timer(TimerId id) override;
 
+  /// Datagrams rejected by the CRC-32C integrity check since start.
+  [[nodiscard]] std::uint64_t crc_dropped() const {
+    return crc_dropped_.load(std::memory_order_relaxed);
+  }
+
   evl::EventLoop& loop() { return loop_; }
 
  private:
@@ -68,6 +73,7 @@ class UdpEndpoint final : public Endpoint {
   sim::ClockTime clock_offset_ = 0;
   Handler* handler_ = nullptr;
   std::uint64_t drop_state_;
+  std::atomic<std::uint64_t> crc_dropped_{0};
 };
 
 class UdpCluster {
@@ -81,6 +87,10 @@ class UdpCluster {
   [[nodiscard]] const UdpClusterConfig& config() const { return cfg_; }
 
   Endpoint& endpoint(ProcessId p) { return *endpoints_.at(p); }
+  /// Per-member CRC rejection count (see UdpEndpoint::crc_dropped).
+  [[nodiscard]] std::uint64_t crc_dropped(ProcessId p) const {
+    return endpoints_.at(p)->crc_dropped();
+  }
   void bind(ProcessId p, Handler& handler);
 
   /// Spawn one event-loop thread per member and call on_start on-loop.

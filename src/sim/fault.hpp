@@ -1,9 +1,11 @@
 // Scripted fault injection.
 //
-// A FaultScript schedules crash/recover/stall/partition/heal/drop actions at
-// absolute simulation times, turning the failure scenarios of the paper's
-// §4 (single crash, lost decision message, multiple failures, false
-// suspicion) into deterministic, replayable experiments.
+// A FaultScript schedules crash/recover/stall/partition/heal plus
+// drop/delay/duplicate/corrupt datagram rules and hardware-clock
+// step/drift faults at absolute simulation times, turning both the paper's
+// §4 failure scenarios (single crash, lost decision message, multiple
+// failures, false suspicion) and the torture engine's randomized schedules
+// into deterministic, replayable experiments.
 #pragma once
 
 #include <vector>
@@ -47,9 +49,9 @@ class FaultScript {
     return *this;
   }
 
-  FaultScript& isolate_at(SimTime t, ProcessId p, int team_size) {
-    util::ProcessSet rest = util::ProcessSet::full(
-        static_cast<ProcessId>(team_size));
+  FaultScript& isolate_at(SimTime t, ProcessId p) {
+    util::ProcessSet rest =
+        util::ProcessSet::full(static_cast<ProcessId>(procs_.size()));
     rest.erase(p);
     return partition_at(t, {rest, util::ProcessSet{p}});
   }
@@ -70,6 +72,49 @@ class FaultScript {
     sim_.at(t, [this, from, kind, to, count, extra] {
       net_.arm_delay(from, kind, to, count, extra);
     });
+    return *this;
+  }
+
+  /// Duplicate instead of dropping.
+  FaultScript& duplicate_at(SimTime t, ProcessId from, std::uint8_t kind,
+                            util::ProcessSet to, int count = 1) {
+    sim_.at(t, [this, from, kind, to, count] {
+      net_.arm_duplicate(from, kind, to, count);
+    });
+    return *this;
+  }
+
+  /// Corrupt in flight (receive-side CRC rejects, so this is a scripted
+  /// omission that exercises the integrity path).
+  FaultScript& corrupt_at(SimTime t, ProcessId from, std::uint8_t kind,
+                          util::ProcessSet to, int count = 1) {
+    sim_.at(t, [this, from, kind, to, count] {
+      net_.arm_corrupt(from, kind, to, count);
+    });
+    return *this;
+  }
+
+  /// Hardware-clock step fault: p's clock jumps by `delta` at time t.
+  FaultScript& clock_step_at(SimTime t, ProcessId p, ClockTime delta) {
+    sim_.at(t, [this, p, delta] { procs_.clock_step(p, delta); });
+    return *this;
+  }
+
+  /// Hardware-clock drift fault: p's drift rate becomes `drift` at time t.
+  FaultScript& clock_drift_at(SimTime t, ProcessId p, double drift) {
+    sim_.at(t, [this, p, drift] { procs_.clock_set_drift(p, drift); });
+    return *this;
+  }
+
+  /// Switch the ambient duplication/reorder/corruption model at time t.
+  FaultScript& fault_model_at(SimTime t, NetFaultModel m) {
+    sim_.at(t, [this, m] { net_.set_fault_model(m); });
+    return *this;
+  }
+
+  /// Disarm all one-shot datagram rules at time t.
+  FaultScript& clear_rules_at(SimTime t) {
+    sim_.at(t, [this] { net_.clear_rules(); });
     return *this;
   }
 

@@ -43,6 +43,19 @@ class HardwareClock {
   [[nodiscard]] double drift() const { return drift_; }
   [[nodiscard]] ClockTime offset() const { return offset_; }
 
+  // --- clock faults (paper §2: hardware clocks can fail too) ----------
+  /// Discontinuous jump: every subsequent reading is shifted by `d`.
+  void step(ClockTime d) { offset_ += d; }
+
+  /// Change the drift rate at real time `at`, keeping the reading at `at`
+  /// continuous (only the rate changes, the clock does not jump).
+  void set_drift(double drift, SimTime at) {
+    const ClockTime reading = read(at);
+    drift_ = drift;
+    offset_ = reading - static_cast<ClockTime>(std::llround(
+                            static_cast<double>(at) * (1.0 + drift_)));
+  }
+
  private:
   double drift_ = 0.0;      ///< in [-rho, rho]
   ClockTime offset_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/crc32.hpp"
+
 namespace tw::sim {
 
 namespace {
@@ -47,14 +49,24 @@ void DatagramNetwork::heal() {
 
 void DatagramNetwork::arm_drop(ProcessId from, std::uint8_t kind,
                                util::ProcessSet to, int count) {
-  rules_.push_back(Rule{from, kind, to, count, 0});
+  rules_.push_back(Rule{from, kind, to, count, RuleAction::drop, 0});
 }
 
 void DatagramNetwork::arm_delay(ProcessId from, std::uint8_t kind,
                                 util::ProcessSet to, int count,
                                 Duration extra) {
   TW_ASSERT(extra > 0);
-  rules_.push_back(Rule{from, kind, to, count, extra});
+  rules_.push_back(Rule{from, kind, to, count, RuleAction::delay, extra});
+}
+
+void DatagramNetwork::arm_duplicate(ProcessId from, std::uint8_t kind,
+                                    util::ProcessSet to, int count) {
+  rules_.push_back(Rule{from, kind, to, count, RuleAction::duplicate, 0});
+}
+
+void DatagramNetwork::arm_corrupt(ProcessId from, std::uint8_t kind,
+                                  util::ProcessSet to, int count) {
+  rules_.push_back(Rule{from, kind, to, count, RuleAction::corrupt, 0});
 }
 
 DatagramNetwork::Rule* DatagramNetwork::match_rule(ProcessId from,
@@ -70,6 +82,47 @@ DatagramNetwork::Rule* DatagramNetwork::match_rule(ProcessId from,
   // Garbage-collect exhausted rules occasionally.
   while (!rules_.empty() && rules_.front().remaining <= 0) rules_.pop_front();
   return nullptr;
+}
+
+void DatagramNetwork::schedule_delivery(ProcessId from, ProcessId to,
+                                        std::vector<std::byte> payload,
+                                        Duration delay, bool corrupt) {
+  const std::uint8_t kind = kind_of(payload);
+  auto& kc = stats_.by_kind[kind];
+  if (delay > delays_.delta) {
+    ++stats_.total.late;
+    ++kc.late;
+  }
+  if (corrupt && !payload.empty()) {
+    // Flip one byte with a nonzero XOR: an error burst of < 32 bits, which
+    // CRC-32C is guaranteed to detect — corruption degrades to omission.
+    const std::uint32_t expected = util::crc32c(payload);
+    const auto pos = static_cast<std::size_t>(
+        sim_.rng().uniform_int(0, static_cast<std::int64_t>(payload.size()) -
+                                      1));
+    payload[pos] ^= static_cast<std::byte>(sim_.rng().uniform_int(1, 255));
+    ++stats_.total.corrupted;
+    ++kc.corrupted;
+    sim_.at(sim_.now() + delay,
+            [this, from, to, expected, payload = std::move(payload)]() mutable {
+              auto& c = stats_.by_kind[kind_of(payload)];
+              if (util::crc32c(payload) != expected) {
+                ++stats_.total.dropped_corrupt;
+                ++c.dropped_corrupt;
+                return;  // CRC rejection: never reaches the stack
+              }
+              ++stats_.total.delivered;
+              ++c.delivered;
+              procs_.deliver_datagram(to, from, std::move(payload));
+            });
+    return;
+  }
+  sim_.at(sim_.now() + delay,
+          [this, from, to, payload = std::move(payload)]() mutable {
+            ++stats_.total.delivered;
+            ++stats_.by_kind[kind_of(payload)].delivered;
+            procs_.deliver_datagram(to, from, std::move(payload));
+          });
 }
 
 void DatagramNetwork::transmit(ProcessId from, ProcessId to,
@@ -92,14 +145,27 @@ void DatagramNetwork::transmit(ProcessId from, ProcessId to,
     ++kc.dropped_link;
     return;
   }
-  Duration delay;
+  Duration delay = 0;
+  bool rule_duplicate = false;
+  bool rule_corrupt = false;
   if (Rule* rule = match_rule(from, to, kind)) {
-    if (rule->extra_delay == 0) {
-      ++stats_.total.dropped_rule;
-      ++kc.dropped_rule;
-      return;
+    switch (rule->action) {
+      case RuleAction::drop:
+        ++stats_.total.dropped_rule;
+        ++kc.dropped_rule;
+        return;
+      case RuleAction::delay:
+        delay = delays_.delta + rule->extra_delay;  // forced perf failure
+        break;
+      case RuleAction::duplicate:
+        rule_duplicate = true;
+        delay = delays_.sample(sim_.rng());
+        break;
+      case RuleAction::corrupt:
+        rule_corrupt = true;
+        delay = delays_.sample(sim_.rng());
+        break;
     }
-    delay = delays_.delta + rule->extra_delay;  // forced performance failure
   } else {
     if (sim_.rng().chance(delays_.loss_prob)) {
       ++stats_.total.dropped_loss;
@@ -108,16 +174,28 @@ void DatagramNetwork::transmit(ProcessId from, ProcessId to,
     }
     delay = delays_.sample(sim_.rng());
   }
-  if (delay > delays_.delta) {
-    ++stats_.total.late;
-    ++kc.late;
+
+  // Ambient fault model: bounded reordering pushes a timely datagram back
+  // within δ, so it stays timely but can overtake/be overtaken.
+  if (faults_.reorder_prob > 0.0 && delay < delays_.delta &&
+      sim_.rng().chance(faults_.reorder_prob)) {
+    delay += sim_.rng().uniform_int(1, delays_.delta - delay);
+    ++stats_.total.reordered;
+    ++kc.reordered;
   }
-  sim_.at(sim_.now() + delay,
-          [this, from, to, payload]() mutable {
-            ++stats_.total.delivered;
-            ++stats_.by_kind[kind_of(payload)].delivered;
-            procs_.deliver_datagram(to, from, std::move(payload));
-          });
+  const bool corrupt =
+      rule_corrupt ||
+      (faults_.corrupt_prob > 0.0 && sim_.rng().chance(faults_.corrupt_prob));
+  schedule_delivery(from, to, payload, delay, corrupt);
+
+  if (rule_duplicate ||
+      (faults_.dup_prob > 0.0 && sim_.rng().chance(faults_.dup_prob))) {
+    ++stats_.total.duplicated;
+    ++kc.duplicated;
+    schedule_delivery(from, to, payload, delays_.sample(sim_.rng()),
+                      faults_.corrupt_prob > 0.0 &&
+                          sim_.rng().chance(faults_.corrupt_prob));
+  }
 }
 
 void DatagramNetwork::broadcast(ProcessId from,

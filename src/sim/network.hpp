@@ -1,11 +1,15 @@
 // The simulated asynchronous datagram service (paper §2).
 //
 // Omission/performance failure semantics: a datagram may be lost, may be
-// delivered late (transmission delay > δ), or delivered timely; it is never
-// corrupted, duplicated or misordered by the *model* (reordering still
-// happens naturally because delays are independent per destination).
-// Supports partitions, per-link up/down control and targeted one-shot drop
-// rules for scripted failure scenarios.
+// delivered late (transmission delay > δ), or delivered timely. On top of
+// that the model can inject the fault classes a real 1998 Ethernet produced
+// only probabilistically: duplication, bounded (still timely) reordering and
+// payload corruption. Corrupted datagrams carry their original CRC-32C and
+// are verified at receive time, mirroring the UDP transport's framing: a
+// mismatch is counted and dropped, so corruption degrades to omission —
+// exactly the paper's failure semantics. Supports partitions, per-link
+// up/down control and targeted one-shot drop/delay/duplicate/corrupt rules
+// for scripted failure scenarios.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +24,17 @@
 #include "util/types.hpp"
 
 namespace tw::sim {
+
+/// Ambient (probabilistic, per-datagram) fault model beyond loss/lateness.
+struct NetFaultModel {
+  double dup_prob = 0.0;          ///< chance of one extra in-flight copy
+  double reorder_prob = 0.0;      ///< chance of a bounded reorder push-back
+  double corrupt_prob = 0.0;      ///< chance of a single-byte payload flip
+
+  [[nodiscard]] bool active() const {
+    return dup_prob > 0.0 || reorder_prob > 0.0 || corrupt_prob > 0.0;
+  }
+};
 
 class DatagramNetwork {
  public:
@@ -59,20 +74,41 @@ class DatagramNetwork {
   void arm_delay(ProcessId from, std::uint8_t kind, util::ProcessSet to,
                  int count, Duration extra);
 
-  /// Disarm every drop/delay rule.
+  /// Deliver the next `count` matching datagrams twice (the copy takes an
+  /// independently sampled delay, so it may also arrive out of order).
+  void arm_duplicate(ProcessId from, std::uint8_t kind, util::ProcessSet to,
+                     int count);
+
+  /// Corrupt the next `count` matching datagrams in flight (single random
+  /// byte flip; the receive-side CRC check rejects and counts them).
+  void arm_corrupt(ProcessId from, std::uint8_t kind, util::ProcessSet to,
+                   int count);
+
+  /// Disarm every one-shot rule.
   void clear_rules() { rules_.clear(); }
 
+  /// Ambient duplication/reordering/corruption probabilities.
+  void set_fault_model(const NetFaultModel& m) { faults_ = m; }
+  [[nodiscard]] const NetFaultModel& fault_model() const { return faults_; }
+
  private:
+  enum class RuleAction : std::uint8_t { drop, delay, duplicate, corrupt };
+
   struct Rule {
     ProcessId from;
     std::uint8_t kind;
     util::ProcessSet to;
     int remaining;
-    Duration extra_delay;  ///< 0 = drop, otherwise delay by δ + extra
+    RuleAction action;
+    Duration extra_delay;  ///< delay action: deliver at δ + extra
   };
 
   void transmit(ProcessId from, ProcessId to,
                 const std::vector<std::byte>& payload);
+  /// Schedule one in-flight copy; corrupts it first when asked to.
+  void schedule_delivery(ProcessId from, ProcessId to,
+                         std::vector<std::byte> payload, Duration delay,
+                         bool corrupt);
   [[nodiscard]] bool link_up(ProcessId from, ProcessId to) const;
   /// Returns pointer to a matching armed rule, consuming one count.
   Rule* match_rule(ProcessId from, ProcessId to, std::uint8_t kind);
@@ -80,6 +116,7 @@ class DatagramNetwork {
   Simulator& sim_;
   ProcessService& procs_;
   DelayModel delays_;
+  NetFaultModel faults_;
   MessageStats stats_;
   std::vector<std::vector<bool>> link_up_;  // [from][to]
   std::deque<Rule> rules_;

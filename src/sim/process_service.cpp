@@ -80,6 +80,14 @@ void ProcessService::stall(ProcessId p, Duration d) {
   proc.stalled_until = std::max(proc.stalled_until, sim_.now() + d);
 }
 
+void ProcessService::clock_step(ProcessId p, ClockTime delta) {
+  procs_.at(p).clock.step(delta);
+}
+
+void ProcessService::clock_set_drift(ProcessId p, double drift) {
+  procs_.at(p).clock.set_drift(drift, sim_.now());
+}
+
 EventId ProcessService::react(ProcessId p, SimTime earliest,
                               std::function<void()> fn) {
   auto& proc = procs_.at(p);

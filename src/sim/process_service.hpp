@@ -61,6 +61,14 @@ class ProcessService {
   /// Defer all of p's reactions until now + d (a performance failure if
   /// d > sigma).
   void stall(ProcessId p, Duration d);
+  /// Hardware-clock failure (paper §2): discontinuous jump of p's clock by
+  /// `delta`. Timers already armed against the old reading keep their real
+  /// fire time — exactly what a stepped clock does to a real process.
+  void clock_step(ProcessId p, ClockTime delta);
+  /// Hardware-clock failure: p's drift rate changes to `drift` (possibly
+  /// outside the [-rho, rho] the clock-sync service assumes), continuously
+  /// at the current instant.
+  void clock_set_drift(ProcessId p, double drift);
 
   // --- trigger delivery ----------------------------------------------
   /// Deliver a datagram to p (called by the network at receive time).

@@ -285,10 +285,16 @@ TEST(Delivery, StragglerBelowOrderedSeqSkippedWhileYoung) {
           .empty());
 }
 
-TEST(Delivery, FreshSurvivorBelowWatermarkOverridesForkPoison) {
-  // The proposal has outlived a full grace period while still being kept
-  // fresh by its proposer (restamped ts): the ordered watermark must have
-  // come from a dead fork — the decider orders it after all.
+TEST(Delivery, SurvivorBelowWatermarkIsForfeited) {
+  // A survivor below the ordered watermark is never ordered, no matter how
+  // long its proposer keeps it alive. This state is indistinguishable from
+  // a grace-expired gap jump in the LIVE lineage (a decider ordered later
+  // sequences past a loss-induced hole, then the hole-filler arrived): a
+  // fresh binding here would place the earlier sequence after the
+  // proposer's already-ordered later ones and invert FIFO for the whole
+  // group. The torture engine found exactly that inversion; the update is
+  // forfeited instead (delivered only if its binding surfaces in an
+  // adopted oal window).
   Rig rig;
   const sim::Duration grace = sim::msec(300);
   Oal oal;
@@ -299,10 +305,14 @@ TEST(Delivery, FreshSurvivorBelowWatermarkOverridesForkPoison) {
   // The proposer keeps renewing it well past the grace window.
   const sim::ClockTime later = 1000 + grace + sim::msec(50);
   rig.engine.restamp_unordered(ProposalId{1, 4}, later);
-  const auto ready = rig.engine.unordered_proposals(
-      kGroup, later + sim::msec(10), grace, sim::sec(100));
-  ASSERT_EQ(ready.size(), 1u);
-  EXPECT_EQ(ready[0]->id.seq, 4u);
+  EXPECT_TRUE(rig.engine
+                  .unordered_proposals(kGroup, later + sim::msec(10), grace,
+                                       sim::sec(100))
+                  .empty());
+  // And the proposer itself stops re-broadcasting the forfeited update.
+  EXPECT_TRUE(
+      rig.engine.stale_unordered_from(1, later + sim::sec(10), sim::msec(1))
+          .empty());
 }
 
 TEST(Delivery, TransferMarksPreventReorderAndRedeliver) {

@@ -97,7 +97,7 @@ TEST(ClockSync, FailAwareness_LosesSyncWhenIsolated) {
   rig.cluster.run_until(sim::sec(2));
   EXPECT_TRUE(rig.nodes[4]->cs.synchronized());
   // Isolate process 4 from everyone.
-  rig.cluster.faults().isolate_at(rig.cluster.now(), 4, 5);
+  rig.cluster.faults().isolate_at(rig.cluster.now(), 4);
   // After the lease expires its readings go stale and it KNOWS it.
   rig.cluster.run_until(rig.cluster.now() + sim::sec(4));
   EXPECT_FALSE(rig.nodes[4]->cs.synchronized());
@@ -110,7 +110,7 @@ TEST(ClockSync, FailAwareness_LosesSyncWhenIsolated) {
 TEST(ClockSync, ResynchronizesAfterHeal) {
   Rig rig(5);
   rig.cluster.run_until(sim::sec(2));
-  rig.cluster.faults().isolate_at(rig.cluster.now(), 4, 5);
+  rig.cluster.faults().isolate_at(rig.cluster.now(), 4);
   rig.cluster.run_until(rig.cluster.now() + sim::sec(4));
   ASSERT_FALSE(rig.nodes[4]->cs.synchronized());
   rig.cluster.network().heal();

@@ -217,6 +217,9 @@ TEST(UdpTransport, CrcRejectsCorruptDatagrams) {
   nanosleep(&req, nullptr);
   cluster.stop();
   EXPECT_EQ(received.load(), 0);
+  // The rejection is accounted: exactly one datagram failed its CRC.
+  EXPECT_EQ(cluster.crc_dropped(1), 1u);
+  EXPECT_EQ(cluster.crc_dropped(0), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,145 @@
+// Fault-primitive tests for the torture engine's building blocks: scripted
+// isolation (regression: must derive the team size from the process
+// service, not assume a default), one-shot duplicate/corrupt rules, the
+// ambient duplication/reorder/corruption model, and hardware-clock
+// step/drift faults.
+#include <gtest/gtest.h>
+
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+
+namespace tw::sim {
+namespace {
+
+struct Rig {
+  Simulator sim{1};
+  ProcessService procs;
+  DatagramNetwork net;
+  std::vector<std::vector<std::pair<ProcessId, std::vector<std::byte>>>> rx;
+
+  explicit Rig(int n, DelayModel delays = {}, SchedModel sched = {})
+      : procs(sim, n, sched, 0.0, 0),
+        net(sim, procs, delays),
+        rx(static_cast<size_t>(n)) {
+    for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+      procs.install(p, ProcessService::Callbacks{
+                           [] {},
+                           [this, p](ProcessId from, std::vector<std::byte> d) {
+                             rx[p].emplace_back(from, std::move(d));
+                           }});
+    }
+  }
+
+  static std::vector<std::byte> msg(std::uint8_t kind, std::uint8_t body) {
+    return {std::byte{kind}, std::byte{body}};
+  }
+};
+
+TEST(FaultScript, IsolateCutsExactlyOneProcess) {
+  // Regression: isolate_at must build the "everyone else" side from the
+  // actual team size. With a 7-process team, isolating p6 used to leave it
+  // connected (the set of survivors was computed over a smaller default
+  // team, so p6 was not in any partition group).
+  Rig rig(7);
+  FaultScript faults(rig.sim, rig.procs, rig.net);
+  faults.isolate_at(100, 6);
+  rig.sim.at(200, [&] {
+    rig.net.send(6, 0, Rig::msg(9, 1));  // isolated → cut
+    rig.net.send(0, 6, Rig::msg(9, 2));  // towards isolated → cut
+    rig.net.send(1, 5, Rig::msg(9, 3));  // among the rest → flows
+  });
+  rig.sim.run();
+  EXPECT_TRUE(rig.rx[0].empty());
+  EXPECT_TRUE(rig.rx[6].empty());
+  ASSERT_EQ(rig.rx[5].size(), 1u);
+  EXPECT_EQ(rig.rx[5][0].second[1], std::byte{3});
+  EXPECT_EQ(rig.net.stats().total.dropped_link, 2u);
+}
+
+TEST(FaultScript, DuplicateRuleDeliversTwoCopies) {
+  Rig rig(3);
+  FaultScript faults(rig.sim, rig.procs, rig.net);
+  faults.duplicate_at(10, 0, 9, util::ProcessSet({1}), 1);
+  rig.sim.at(20, [&] { rig.net.send(0, 1, Rig::msg(9, 7)); });
+  rig.sim.run();
+  ASSERT_EQ(rig.rx[1].size(), 2u);  // original + injected duplicate
+  EXPECT_EQ(rig.rx[1][0].second, rig.rx[1][1].second);
+  EXPECT_EQ(rig.net.stats().total.duplicated, 1u);
+  EXPECT_EQ(rig.net.stats().total.delivered, 2u);
+}
+
+TEST(FaultScript, CorruptRuleDegradesToOmissionAndIsCounted) {
+  // In-flight corruption flips one byte; the receive-side CRC check
+  // rejects the datagram, so the stack never sees it. Every corrupted
+  // datagram must be accounted as dropped_corrupt — that pairing is an
+  // oracle invariant on every torture run.
+  Rig rig(3);
+  FaultScript faults(rig.sim, rig.procs, rig.net);
+  faults.corrupt_at(10, 0, 9, util::ProcessSet({1}), 1);
+  rig.sim.at(20, [&] { rig.net.send(0, 1, Rig::msg(9, 7)); });
+  rig.sim.at(30, [&] { rig.net.send(0, 1, Rig::msg(9, 8)); });  // unscathed
+  rig.sim.run();
+  ASSERT_EQ(rig.rx[1].size(), 1u);
+  EXPECT_EQ(rig.rx[1][0].second[1], std::byte{8});
+  EXPECT_EQ(rig.net.stats().total.corrupted, 1u);
+  EXPECT_EQ(rig.net.stats().total.dropped_corrupt, 1u);
+  EXPECT_EQ(rig.net.stats().total.delivered, 1u);
+}
+
+TEST(FaultScript, AmbientModelDuplicatesEveryDatagram) {
+  Rig rig(2);
+  FaultScript faults(rig.sim, rig.procs, rig.net);
+  faults.fault_model_at(5, NetFaultModel{/*dup*/ 1.0, /*reorder*/ 0.0,
+                                         /*corrupt*/ 0.0});
+  rig.sim.at(10, [&] { rig.net.send(0, 1, Rig::msg(9, 1)); });
+  rig.sim.run();
+  EXPECT_EQ(rig.rx[1].size(), 2u);
+  EXPECT_EQ(rig.net.stats().total.duplicated, 1u);
+}
+
+TEST(FaultScript, AmbientReorderDelaysButNeverLoses) {
+  Rig rig(2);
+  FaultScript faults(rig.sim, rig.procs, rig.net);
+  faults.fault_model_at(5, NetFaultModel{/*dup*/ 0.0, /*reorder*/ 1.0,
+                                         /*corrupt*/ 0.0});
+  constexpr int kSends = 20;
+  for (int i = 0; i < kSends; ++i) {
+    rig.sim.at(10 + i, [&rig, i] {
+      rig.net.send(0, 1, Rig::msg(9, static_cast<std::uint8_t>(i)));
+    });
+  }
+  rig.sim.run();
+  // Reordering is bounded extra delay, not loss: all copies arrive. (A
+  // datagram whose base delay already reaches δ is exempt from the extra
+  // push, so the counter can trail the send count slightly.)
+  EXPECT_EQ(rig.rx[1].size(), static_cast<std::size_t>(kSends));
+  EXPECT_GT(rig.net.stats().total.reordered, 0u);
+  EXPECT_EQ(rig.net.stats().total.dropped_loss, 0u);
+}
+
+TEST(FaultScript, ClockStepShiftsEveryLaterReading) {
+  Rig rig(2);
+  FaultScript faults(rig.sim, rig.procs, rig.net);
+  const ClockTime before = rig.procs.clock(1).read(msec(50));
+  faults.clock_step_at(msec(60), 1, msec(500));
+  rig.sim.run();
+  EXPECT_EQ(rig.procs.clock(1).read(msec(50)), before + msec(500));
+}
+
+TEST(FaultScript, ClockDriftChangesRateContinuously) {
+  Rig rig(2);
+  FaultScript faults(rig.sim, rig.procs, rig.net);
+  faults.clock_drift_at(msec(100), 1, 0.5);
+  rig.sim.run();
+  const auto& clock = rig.procs.clock(1);
+  // The reading stays continuous at the switch point...
+  const ClockTime at_switch = clock.read(msec(100));
+  // ...and from there on advances half again as fast.
+  const ClockTime later = clock.read(msec(100) + sec(1));
+  const auto advance = later - at_switch;
+  EXPECT_NEAR(static_cast<double>(advance), 1.5 * static_cast<double>(sec(1)),
+              static_cast<double>(msec(1)));
+}
+
+}  // namespace
+}  // namespace tw::sim
