@@ -51,8 +51,20 @@ bool DeliveryEngine::note_proposal(const Proposal& p, sim::ClockTime sync_now) {
   if (const OalEntry* e = adopted_.find(p.id)) {
     s.ordinal = e->ordinal;
     s.oal_undeliverable = e->undeliverable;
+    notify_order(s.ordinal, p.id.proposer);
   }
   return true;
+}
+
+void DeliveryEngine::notify_deliver(const Proposal& p, Ordinal ordinal) {
+  if (recorder_ != nullptr)
+    recorder_->emit(obs::EvKind::bcast_deliver, 0, ordinal, p.id.proposer);
+  deliver_(p, ordinal);
+}
+
+void DeliveryEngine::notify_order(Ordinal ordinal, ProcessId proposer) {
+  if (recorder_ != nullptr)
+    recorder_->emit(obs::EvKind::bcast_order, 0, ordinal, proposer);
 }
 
 bool DeliveryEngine::have(ProposalId pid) const {
@@ -87,6 +99,7 @@ void DeliveryEngine::adopt_oal(const Oal& oal) {
                   << " -> " << e.ordinal);
     }
     s.ordinal = e.ordinal;
+    notify_order(s.ordinal, e.pid.proposer);
     if (e.undeliverable) s.oal_undeliverable = true;
     if (!s.have) {
       // Header-only knowledge so the stream can reason about the entry.
@@ -124,7 +137,7 @@ void DeliveryEngine::adopt_oal(const Oal& oal) {
     for (const Slot* s : held) {
       const_cast<Slot*>(s)->delivered = true;
       ++delivered_n_;
-      deliver_(s->proposal, s->ordinal);
+      notify_deliver(s->proposal, s->ordinal);
     }
     cursor_ = adopted_.base();
   }
@@ -388,7 +401,7 @@ int DeliveryEngine::deliver_immediate(sim::ClockTime sync_now) {
     s.delivered = true;
     ++delivered_n_;
     ++n;
-    deliver_(s.proposal, s.ordinal);
+    notify_deliver(s.proposal, s.ordinal);
   }
   return n;
 }
@@ -436,7 +449,7 @@ int DeliveryEngine::deliver_stream(sim::ClockTime sync_now,
     ++delivered_n_;
     ++n;
     ++cursor_;
-    deliver_(s.proposal, s.ordinal);
+    notify_deliver(s.proposal, s.ordinal);
   }
   return n;
 }

@@ -27,6 +27,7 @@
 #include "bcast/messages.hpp"
 #include "bcast/oal.hpp"
 #include "bcast/types.hpp"
+#include "obs/recorder.hpp"
 
 namespace tw::bcast {
 
@@ -41,6 +42,10 @@ class DeliveryEngine {
 
   /// Forget everything (crash recovery).
   void reset();
+
+  /// Attach a trace recorder: ordinal binds emit bcast_order, deliveries
+  /// emit bcast_deliver. Pass nullptr to detach.
+  void set_recorder(obs::Recorder* rec) { recorder_ = rec; }
 
   // --- proposal receipt ------------------------------------------------
   /// Store a received (or own) proposal. Returns false for duplicates.
@@ -170,10 +175,14 @@ class DeliveryEngine {
   int deliver_immediate(sim::ClockTime sync_now);
   /// Advance the ordinal stream.
   int deliver_stream(sim::ClockTime sync_now, util::ProcessSet group);
+  /// Trace + hand a proposal to the client callback.
+  void notify_deliver(const Proposal& p, Ordinal ordinal);
+  void notify_order(Ordinal ordinal, ProcessId proposer);
 
   ProcessId self_;
   sim::Duration deliver_delay_;
   DeliverFn deliver_;
+  obs::Recorder* recorder_ = nullptr;
 
   std::map<ProposalId, Slot> slots_;
   Oal adopted_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/recorder.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -50,6 +51,17 @@ void ClockSync::send_request() {
 
 void ClockSync::run_round() {
   if (!running_) return;
+  // Record the outcome of the window that just elapsed before starting the
+  // next one: synchronized?, fresh remote readings, current median offset.
+  refresh(ep_.hw_now());
+  if (auto* rec = ep_.obs()) {
+    int fresh = 0;
+    for (ProcessId q = 0; q < readings_.size(); ++q)
+      if (q != ep_.self() && readings_[q].valid) ++fresh;
+    rec->emit(obs::EvKind::clock_round, synchronized_ ? 1 : 0,
+              static_cast<std::uint64_t>(fresh),
+              static_cast<std::uint64_t>(median_offset_));
+  }
   send_request();
   round_timer_ = ep_.set_timer_after(cfg_.period, [this] { run_round(); });
 }
@@ -115,6 +127,14 @@ void ClockSync::refresh(sim::ClockTime hw) {
                                            offsets.size() / 2),
                      offsets.end());
     median_offset_ = offsets[offsets.size() / 2];
+  }
+  if (auto* rec = ep_.obs()) {
+    // Subsequent trace records carry this correction, so cross-process
+    // timeline merges order by the synchronized-clock estimate.
+    if (synchronized_) rec->set_clock_correction(median_offset_);
+    if (was != synchronized_)
+      rec->emit(synchronized_ ? obs::EvKind::clock_sync_gained
+                              : obs::EvKind::clock_sync_lost);
   }
   if (was != synchronized_) {
     ep_.trace(synchronized_ ? sim::TraceKind::clock_sync_regained

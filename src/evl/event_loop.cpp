@@ -1,11 +1,39 @@
 #include "evl/event_loop.hpp"
 
+#include <errno.h>
+#include <fcntl.h>
 #include <poll.h>
 #include <time.h>
+#include <unistd.h>
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#endif
+
 namespace tw::evl {
+
+EventLoop::EventLoop() {
+#if defined(__linux__)
+  wake_rd_ = wake_wr_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_rd_ >= 0) return;
+#endif
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    for (const int fd : fds) {
+      ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+    wake_rd_ = fds[0];
+    wake_wr_ = fds[1];
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0 && wake_wr_ != wake_rd_) ::close(wake_wr_);
+}
 
 std::int64_t EventLoop::mono_now_us() {
   timespec ts{};
@@ -21,7 +49,11 @@ void EventLoop::unwatch_fd(int fd) { fd_handlers_.erase(fd); }
 
 sim::EventId EventLoop::add_timer_at(std::int64_t mono_us,
                                      std::function<void()> fn) {
-  return timers_.schedule(mono_us, std::move(fn));
+  const sim::EventId id = timers_.schedule(mono_us, std::move(fn));
+  if (recorder_ != nullptr)
+    recorder_->emit(obs::EvKind::timer_arm, 0, id,
+                    static_cast<std::uint64_t>(mono_us));
+  return id;
 }
 
 sim::EventId EventLoop::add_timer_after(sim::Duration d,
@@ -29,9 +61,31 @@ sim::EventId EventLoop::add_timer_after(sim::Duration d,
   return add_timer_at(mono_now_us() + d, std::move(fn));
 }
 
+void EventLoop::cancel_timer(sim::EventId id) {
+  if (timers_.cancel(id) && recorder_ != nullptr)
+    recorder_->emit(obs::EvKind::timer_cancel, 0, id);
+}
+
 void EventLoop::post(std::function<void()> fn) {
-  const std::lock_guard lock(posted_mu_);
-  posted_.push_back(std::move(fn));
+  {
+    const std::lock_guard lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  // Wake a poll_once() that may be asleep in poll(2). Without this the
+  // posted callback would wait out the full poll timeout (up to 100ms in
+  // run()). EAGAIN just means the counter/pipe already holds a pending
+  // wakeup, which is enough.
+  if (wake_wr_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_wr_, &one, sizeof(one));
+  }
+}
+
+void EventLoop::drain_wakeup() {
+  std::uint64_t buf[8];
+  while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+  }
 }
 
 int EventLoop::dispatch_posted() {
@@ -45,10 +99,18 @@ int EventLoop::dispatch_posted() {
 }
 
 int EventLoop::dispatch_due_timers() {
+  // Re-read the clock after every callback: a handler that re-arms itself
+  // for an already-due deadline (e.g. retransmit backoff of 0) fires again
+  // in this same pass instead of stalling until the next poll timeout.
+  // kMaxTimerDispatchPerPoll bounds the pass so an always-due re-arm chain
+  // cannot starve fd handling.
   int dispatched = 0;
-  const std::int64_t now = mono_now_us();
-  while (!timers_.empty() && timers_.next_time() <= now) {
+  while (dispatched < kMaxTimerDispatchPerPoll && !timers_.empty() &&
+         timers_.next_time() <= mono_now_us()) {
     auto fired = timers_.pop();
+    if (recorder_ != nullptr)
+      recorder_->emit(obs::EvKind::timer_fire, 0,
+                      static_cast<std::uint64_t>(fired.time));
     fired.fn();
     ++dispatched;
   }
@@ -66,30 +128,41 @@ int EventLoop::poll_once(sim::Duration max_wait_us) {
   }
 
   std::vector<pollfd> fds;
-  fds.reserve(fd_handlers_.size());
+  fds.reserve(fd_handlers_.size() + 1);
+  if (wake_rd_ >= 0) fds.push_back(pollfd{wake_rd_, POLLIN, 0});
   for (const auto& [fd, handler] : fd_handlers_)
     fds.push_back(pollfd{fd, POLLIN, 0});
 
   int dispatched = 0;
   const int timeout_ms = static_cast<int>((wait_us + 999) / 1000);
-  const int rc =
-      fds.empty() ? 0 : ::poll(fds.data(), fds.size(), timeout_ms);
-  if (fds.empty() && wait_us > 0) {
-    timespec req{wait_us / 1000000, (wait_us % 1000000) * 1000};
-    nanosleep(&req, nullptr);
-  }
+  const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                        timeout_ms);
   if (rc > 0) {
     for (const auto& pfd : fds) {
-      if (pfd.revents & (POLLIN | POLLERR | POLLHUP)) {
-        const auto it = fd_handlers_.find(pfd.fd);
-        if (it != fd_handlers_.end()) {
-          it->second();
-          ++dispatched;
+      if ((pfd.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      if (pfd.fd == wake_rd_) {
+        drain_wakeup();
+        if (recorder_ != nullptr) {
+          std::size_t queued = 0;
+          {
+            const std::lock_guard lock(posted_mu_);
+            queued = posted_.size();
+          }
+          recorder_->emit(obs::EvKind::post_wake, 0, queued);
         }
+        continue;
+      }
+      const auto it = fd_handlers_.find(pfd.fd);
+      if (it != fd_handlers_.end()) {
+        it->second();
+        ++dispatched;
       }
     }
   }
   dispatched += dispatch_due_timers();
+  // A wakeup may have landed while poll was sleeping; run what it posted
+  // now rather than a full poll cycle later.
+  dispatched_posted += dispatch_posted();
   return dispatched + dispatched_posted;
 }
 

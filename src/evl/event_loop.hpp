@@ -10,6 +10,11 @@
 // This EventLoop demultiplexes readable file descriptors (via poll(2)) and
 // timer expirations into user callbacks, all on the calling thread. It backs
 // the real UDP transport and the thread-vs-event benchmark (experiment E6).
+//
+// Cross-thread post() is wired to a wakeup descriptor (eventfd, with a
+// self-pipe fallback) that is part of the poll set, so a posted callback
+// interrupts a sleeping poll_once() immediately instead of waiting out the
+// poll timeout.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -25,7 +31,14 @@ namespace tw::evl {
 
 class EventLoop {
  public:
-  EventLoop() = default;
+  /// Upper bound on timer callbacks dispatched per poll_once() pass. The
+  /// due-timer loop re-reads the clock after every callback so an immediate
+  /// re-arm fires in the same pass; this bound keeps a pathological
+  /// always-due re-arm chain from starving fd dispatch.
+  static constexpr int kMaxTimerDispatchPerPoll = 256;
+
+  EventLoop();
+  ~EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -38,16 +51,16 @@ class EventLoop {
 
   sim::EventId add_timer_at(std::int64_t mono_us, std::function<void()> fn);
   sim::EventId add_timer_after(sim::Duration d, std::function<void()> fn);
-  void cancel_timer(sim::EventId id) { timers_.cancel(id); }
+  void cancel_timer(sim::EventId id);
 
   /// Thread-safe: enqueue `fn` to run on the loop thread during its next
-  /// poll_once iteration. The only EventLoop entry point that may be called
-  /// from a foreign thread.
+  /// poll_once iteration, and wake the loop if it is sleeping in poll. The
+  /// only EventLoop entry point that may be called from a foreign thread.
   void post(std::function<void()> fn);
 
   /// Run one demultiplexing step: wait (bounded by `max_wait_us`) for the
-  /// next fd/timer event and dispatch everything due. Returns number of
-  /// callbacks dispatched.
+  /// next fd/timer/post event and dispatch everything due. Returns number
+  /// of callbacks dispatched.
   int poll_once(sim::Duration max_wait_us);
 
   /// Run until stop() is called from inside a callback.
@@ -58,9 +71,15 @@ class EventLoop {
 
   void stop() { stopped_ = true; }
 
+  /// Attach a per-process trace recorder (timer arm/fire/cancel and post
+  /// wakeups are recorded). Pass nullptr to detach. Loop-thread only.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   int dispatch_due_timers();
   int dispatch_posted();
+  /// Drain the wakeup descriptor after poll reported it readable.
+  void drain_wakeup();
 
   sim::EventQueue timers_;  // keyed on monotonic µs
   std::unordered_map<int, std::function<void()>> fd_handlers_;
@@ -68,6 +87,12 @@ class EventLoop {
 
   std::mutex posted_mu_;
   std::vector<std::function<void()>> posted_;
+
+  // Wakeup channel: eventfd on Linux (wake_rd_ == wake_wr_), else a pipe.
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace tw::evl

@@ -70,6 +70,21 @@ class SimHarness {
   void run_until(sim::SimTime t) { cluster_.run_until(t); }
   void run_for(sim::Duration d) { cluster_.run_until(now() + d); }
 
+  // --- observability ----------------------------------------------------
+  /// One snapshot covering network accounting ("net.*") and every node's
+  /// NodeStats ("gms.p<i>.*").
+  [[nodiscard]] obs::MetricsSnapshot metrics() const {
+    return cluster_.metrics().snapshot();
+  }
+  /// All processes' trace rings merged into synchronized-time order.
+  [[nodiscard]] std::vector<obs::Event> merged_trace() const {
+    return cluster_.merged_trace();
+  }
+  /// The merged trace as a JSONL document (twtrace-compatible).
+  [[nodiscard]] std::string trace_jsonl() const {
+    return obs::to_jsonl(merged_trace());
+  }
+
   // --- app recording ----------------------------------------------------
   [[nodiscard]] const std::vector<DeliveryRecord>& delivered(
       ProcessId p) const {

@@ -29,6 +29,41 @@ TimewheelNode::TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg,
   join_infos_.resize(static_cast<std::size_t>(n_));
   recon_infos_.resize(static_cast<std::size_t>(n_));
   nd_infos_.resize(static_cast<std::size_t>(n_));
+  if (obs::Recorder* rec = ep_.obs()) {
+    delivery_.set_recorder(rec);
+    if (obs::Registry* reg = rec->registry()) {
+      // Snapshots see this node's NodeStats as "gms.p<id>.*" counters.
+      const std::string prefix =
+          "gms.p" + std::to_string(ep_.self()) + '.';
+      stats_source_ = reg->register_source(
+          [this, prefix](std::map<std::string, std::uint64_t>& out) {
+            out[prefix + "decisions_sent"] = stats_.decisions_sent;
+            out[prefix + "proposals_sent"] = stats_.proposals_sent;
+            out[prefix + "views_installed"] = stats_.views_installed;
+            out[prefix + "suspicions_raised"] = stats_.suspicions_raised;
+            out[prefix + "no_decisions_sent"] = stats_.no_decisions_sent;
+            out[prefix + "reconfigurations_sent"] =
+                stats_.reconfigurations_sent;
+            out[prefix + "groups_created"] = stats_.groups_created;
+            out[prefix + "wrong_suspicions"] = stats_.wrong_suspicions;
+            out[prefix + "state_transfers_sent"] =
+                stats_.state_transfers_sent;
+            out[prefix + "state_transfers_received"] =
+                stats_.state_transfers_received;
+            out[prefix + "retransmit_requests_sent"] =
+                stats_.retransmit_requests_sent;
+            out[prefix + "exclusions"] = stats_.exclusions;
+          });
+    }
+  }
+}
+
+TimewheelNode::~TimewheelNode() {
+  if (stats_source_ != 0) {
+    if (obs::Recorder* rec = ep_.obs())
+      if (obs::Registry* reg = rec->registry())
+        reg->unregister_source(stats_source_);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -104,6 +139,8 @@ void TimewheelNode::on_start() {
   pending_proposals_ = std::move(kept);
   clock_.start();
   ep_.trace(TraceKind::node_started);
+  if (auto* rec = ep_.obs())
+    rec->emit(obs::EvKind::node_start, recovery ? 1 : 0);
   arm_slot_timer();
   housekeeping_timer_ = ep_.set_timer_after(
       cfg_.slot_len(), [this] { on_housekeeping(); });
@@ -120,6 +157,10 @@ void TimewheelNode::trace_state_change(GcState from, GcState to) {
   ep_.trace(TraceKind::state_changed, static_cast<std::uint64_t>(to),
             static_cast<std::uint64_t>(from), {},
             std::string(gc_state_name(from)) + "->" + gc_state_name(to));
+  if (auto* rec = ep_.obs())
+    rec->emit(obs::EvKind::fsm_transition, 0,
+              static_cast<std::uint64_t>(to),
+              static_cast<std::uint64_t>(from));
 }
 
 void TimewheelNode::on_clock_sync_change(bool synchronized) {
@@ -418,6 +459,7 @@ void TimewheelNode::on_fd_timeout() {
   fd_.clear_expectation();
   ++stats_.suspicions_raised;
   ep_.trace(TraceKind::suspicion, e);
+  if (auto* rec = ep_.obs()) rec->emit(obs::EvKind::suspect, 0, e);
 
   switch (state_) {
     case GcState::failure_free: {
@@ -1502,6 +1544,8 @@ void TimewheelNode::install_view(GroupId gid, util::ProcessSet members,
   installed_ = true;
   ++stats_.views_installed;
   ep_.trace(TraceKind::view_installed, gid, 0, members);
+  if (auto* rec = ep_.obs())
+    rec->emit(obs::EvKind::view_install, 0, gid, members.bits());
   if (app_.view_change) app_.view_change(gid, members);
 
   if (!was_member && members.contains(self())) {

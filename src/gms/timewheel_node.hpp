@@ -60,6 +60,9 @@ struct NodeStats {
 class TimewheelNode final : public net::Handler {
  public:
   TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg, AppCallbacks app);
+  ~TimewheelNode() override;
+  TimewheelNode(const TimewheelNode&) = delete;
+  TimewheelNode& operator=(const TimewheelNode&) = delete;
 
   // net::Handler -------------------------------------------------------
   void on_start() override;
@@ -281,6 +284,9 @@ class TimewheelNode final : public net::Handler {
 
   bool ever_started_ = false;
   NodeStats stats_;
+  /// NodeStats pull-source registration (0 = none) in the endpoint's
+  /// metrics registry; released in the destructor.
+  obs::Registry::SourceId stats_source_ = 0;
 
   // Timers.
   net::TimerId slot_timer_ = net::kNoTimer;

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
 #include "sim/process_service.hpp"
@@ -40,6 +42,7 @@ class SimEndpoint final : public Endpoint {
                           std::function<void()> fn) override;
   TimerId set_timer_after(sim::Duration d, std::function<void()> fn) override;
   void cancel_timer(TimerId id) override;
+  [[nodiscard]] obs::Recorder* obs() override;
   void trace(sim::TraceKind kind, std::uint64_t a, std::uint64_t b,
              util::ProcessSet set, std::string note) override;
 
@@ -51,6 +54,9 @@ class SimEndpoint final : public Endpoint {
 class SimCluster {
  public:
   explicit SimCluster(const SimClusterConfig& cfg);
+  ~SimCluster();
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
 
   [[nodiscard]] int size() const { return procs_.size(); }
   sim::Simulator& simulator() { return sim_; }
@@ -60,6 +66,14 @@ class SimCluster {
   [[nodiscard]] const sim::TraceLog& trace_log() const { return trace_; }
   sim::FaultScript& faults() { return faults_; }
   Endpoint& endpoint(ProcessId p) { return *endpoints_.at(p); }
+
+  /// Cluster-wide metrics registry. DatagramNetwork message accounting is
+  /// exported into snapshots as "net.*" via a pull source.
+  [[nodiscard]] obs::Registry& metrics() { return registry_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return registry_; }
+  obs::Recorder& recorder(ProcessId p) { return *recorders_.at(p); }
+  /// Merge every member's trace ring into one synchronized-time timeline.
+  [[nodiscard]] std::vector<obs::Event> merged_trace() const;
 
   /// Attach a stack to process p. The handler must outlive the cluster run.
   void bind(ProcessId p, Handler& handler);
@@ -79,6 +93,9 @@ class SimCluster {
   sim::DatagramNetwork net_;
   sim::TraceLog trace_;
   sim::FaultScript faults_;
+  obs::Registry registry_;  // must outlive recorders_ and the stacks
+  std::vector<std::unique_ptr<obs::Recorder>> recorders_;
+  obs::Registry::SourceId net_stats_source_ = 0;
   std::vector<std::unique_ptr<SimEndpoint>> endpoints_;
 };
 

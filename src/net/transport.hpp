@@ -21,6 +21,10 @@
 #include "util/process_set.hpp"
 #include "util/types.hpp"
 
+namespace tw::obs {
+class Recorder;
+}
+
 namespace tw::net {
 
 using TimerId = std::uint64_t;
@@ -58,6 +62,10 @@ class Endpoint {
   virtual TimerId set_timer_after(sim::Duration d,
                                   std::function<void()> fn) = 0;
   virtual void cancel_timer(TimerId id) = 0;
+
+  /// Per-process observability scope (trace ring + metrics registry);
+  /// nullptr when the transport has no recorder wired.
+  [[nodiscard]] virtual obs::Recorder* obs() { return nullptr; }
 
   /// Structured tracing; no-op outside the simulator unless overridden.
   virtual void trace(sim::TraceKind kind, std::uint64_t a = 0,

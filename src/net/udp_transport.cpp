@@ -6,8 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
+#include <string>
 
+#include "obs/timeline.hpp"
 #include "util/assert.hpp"
 #include "util/bytes.hpp"
 #include "util/crc32.hpp"
@@ -29,7 +32,15 @@ UdpEndpoint::UdpEndpoint(UdpCluster& cluster, ProcessId id)
       id_(id),
       clock_offset_(static_cast<sim::ClockTime>(id) *
                     cluster.cfg_.clock_offset_step),
-      drop_state_(cluster.cfg_.drop_seed + id * 0x9e3779b97f4a7c15ULL + 1) {
+      drop_state_(cluster.cfg_.drop_seed + id * 0x9e3779b97f4a7c15ULL + 1),
+      recorder_(id, [this] { return hw_now(); }, &cluster.registry_) {
+  const std::string prefix = "udp.p" + std::to_string(id) + '.';
+  sent_ = &cluster.registry_.counter(prefix + "sent");
+  received_ = &cluster.registry_.counter(prefix + "received");
+  crc_dropped_ = &cluster.registry_.counter(prefix + "crc_dropped");
+  send_omitted_ = &cluster.registry_.counter(prefix + "send_omitted");
+  recv_err_ = &cluster.registry_.counter(prefix + "recv_err");
+  loop_.set_recorder(&recorder_);
   open_socket();
 }
 
@@ -80,8 +91,26 @@ void UdpEndpoint::send_raw(ProcessId to, const std::vector<std::byte>& f) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port =
       htons(static_cast<std::uint16_t>(cluster_.cfg_.base_port + to));
-  ::sendto(fd_, f.data(), f.size(), 0,
-           reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  // Wire kind tag = first payload byte (frame is [crc][sender][payload]).
+  const std::uint8_t kind =
+      f.size() > 8 ? static_cast<std::uint8_t>(f[8]) : 0;
+  const ssize_t n =
+      ::sendto(fd_, f.data(), f.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (n < 0 || static_cast<std::size_t>(n) != f.size()) {
+    // The datagram model already allows omission failures; a failed or
+    // truncated sendto IS one, but it must be counted, not ignored.
+    const int err = n < 0 ? errno : EMSGSIZE;
+    send_omitted_->inc();
+    recorder_.emit(obs::EvKind::dgram_drop,
+                   static_cast<std::uint8_t>(obs::DropReason::send_fail), to,
+                   static_cast<std::uint64_t>(err));
+    TW_WARN("udp member " << id_ << ": sendto to " << to
+                          << " failed: " << std::strerror(err));
+    return;
+  }
+  sent_->inc();
+  recorder_.emit(obs::EvKind::dgram_send, kind, to, f.size());
 }
 
 void UdpEndpoint::broadcast(std::vector<std::byte> data) {
@@ -111,28 +140,57 @@ void UdpEndpoint::on_readable() {
   std::byte buf[65536];
   for (;;) {
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-    if (n <= 0) return;  // EWOULDBLOCK or error: nothing more to read
-    if (cluster_.crashed_[id_].load(std::memory_order_relaxed)) continue;
+    if (n < 0) {
+      // Only would-block means the socket is drained. Everything else is a
+      // real receive failure and must not be silently conflated with it.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      recv_err_->inc();
+      recorder_.emit(obs::EvKind::dgram_drop,
+                     static_cast<std::uint8_t>(obs::DropReason::recv_err), 0,
+                     static_cast<std::uint64_t>(errno));
+      TW_WARN("udp member " << id_
+                            << ": recv failed: " << std::strerror(errno));
+      return;
+    }
+    if (cluster_.crashed_[id_].load(std::memory_order_relaxed)) {
+      recorder_.emit(obs::EvKind::dgram_drop,
+                     static_cast<std::uint8_t>(obs::DropReason::crashed));
+      continue;
+    }
     if (n < 8) {  // runt: too short to even carry the integrity header
-      crc_dropped_.fetch_add(1, std::memory_order_relaxed);
+      crc_dropped_->inc();
+      recorder_.emit(obs::EvKind::dgram_drop,
+                     static_cast<std::uint8_t>(obs::DropReason::runt), 0,
+                     static_cast<std::uint64_t>(n));
       continue;
     }
     if (cluster_.cfg_.drop_prob > 0.0) {
       const double u = static_cast<double>(xorshift(drop_state_) >> 11) *
                        0x1.0p-53;
-      if (u < cluster_.cfg_.drop_prob) continue;  // injected omission
+      if (u < cluster_.cfg_.drop_prob) {  // injected omission
+        recorder_.emit(obs::EvKind::dgram_drop,
+                       static_cast<std::uint8_t>(obs::DropReason::injected));
+        continue;
+      }
     }
     const std::span<const std::byte> frame_bytes(buf, static_cast<size_t>(n));
     util::ByteReader header(frame_bytes.subspan(0, 4));
     const std::uint32_t crc = header.u32();
     if (crc != util::crc32c(frame_bytes.subspan(4))) {
-      crc_dropped_.fetch_add(1, std::memory_order_relaxed);
+      crc_dropped_->inc();
+      recorder_.emit(obs::EvKind::dgram_drop,
+                     static_cast<std::uint8_t>(obs::DropReason::crc));
       TW_WARN("udp member " << id_ << ": CRC mismatch, dropping datagram");
       continue;
     }
     util::ByteReader sender_reader(frame_bytes.subspan(4, 4));
     const ProcessId from = sender_reader.u32();
     if (from >= static_cast<ProcessId>(team_size()) || from == id_) continue;
+    received_->inc();
+    recorder_.emit(obs::EvKind::dgram_recv,
+                   static_cast<std::uint8_t>(frame_bytes[8]), from,
+                   static_cast<std::uint64_t>(n));
     if (handler_ != nullptr) handler_->on_datagram(from, frame_bytes.subspan(8));
   }
 }
@@ -146,6 +204,17 @@ UdpCluster::UdpCluster(const UdpClusterConfig& cfg)
 }
 
 UdpCluster::~UdpCluster() { stop(); }
+
+std::vector<obs::Event> UdpCluster::merged_trace() const {
+  // Rings are written by the loop threads without locks; callers must
+  // stop() first so the threads are joined.
+  std::vector<obs::Event> all;
+  for (const auto& ep : endpoints_) {
+    const auto part = ep->recorder_.ring().snapshot();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return obs::merge_timeline(std::move(all));
+}
 
 void UdpCluster::bind(ProcessId p, Handler& handler) {
   endpoints_.at(p)->handler_ = &handler;

@@ -15,6 +15,8 @@
 
 #include "evl/event_loop.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace tw::net {
 
@@ -49,10 +51,20 @@ class UdpEndpoint final : public Endpoint {
                           std::function<void()> fn) override;
   TimerId set_timer_after(sim::Duration d, std::function<void()> fn) override;
   void cancel_timer(TimerId id) override;
+  [[nodiscard]] obs::Recorder* obs() override { return &recorder_; }
 
-  /// Datagrams rejected by the CRC-32C integrity check since start.
+  /// Datagrams rejected by the CRC-32C integrity check (or too short to
+  /// carry it) since start. Backed by the cluster metrics registry.
   [[nodiscard]] std::uint64_t crc_dropped() const {
-    return crc_dropped_.load(std::memory_order_relaxed);
+    return crc_dropped_->get();
+  }
+  /// sendto() failures surfaced as omission failures since start.
+  [[nodiscard]] std::uint64_t send_omitted() const {
+    return send_omitted_->get();
+  }
+  /// recv() failures other than would-block/interrupt since start.
+  [[nodiscard]] std::uint64_t recv_errors() const {
+    return recv_err_->get();
   }
 
   evl::EventLoop& loop() { return loop_; }
@@ -73,7 +85,13 @@ class UdpEndpoint final : public Endpoint {
   sim::ClockTime clock_offset_ = 0;
   Handler* handler_ = nullptr;
   std::uint64_t drop_state_;
-  std::atomic<std::uint64_t> crc_dropped_{0};
+  obs::Recorder recorder_;
+  // Registry-backed counters (stable references into cluster metrics).
+  obs::Counter* sent_;
+  obs::Counter* received_;
+  obs::Counter* crc_dropped_;
+  obs::Counter* send_omitted_;
+  obs::Counter* recv_err_;
 };
 
 class UdpCluster {
@@ -85,6 +103,11 @@ class UdpCluster {
 
   [[nodiscard]] int size() const { return cfg_.n; }
   [[nodiscard]] const UdpClusterConfig& config() const { return cfg_; }
+
+  /// Cluster-wide metrics registry (per-endpoint counters live here).
+  [[nodiscard]] obs::Registry& metrics() { return registry_; }
+  /// Merge every member's trace ring into one synchronized-time timeline.
+  [[nodiscard]] std::vector<obs::Event> merged_trace() const;
 
   Endpoint& endpoint(ProcessId p) { return *endpoints_.at(p); }
   /// Per-member CRC rejection count (see UdpEndpoint::crc_dropped).
@@ -111,6 +134,7 @@ class UdpCluster {
   friend class UdpEndpoint;
 
   UdpClusterConfig cfg_;
+  obs::Registry registry_;  // must outlive endpoints_
   std::vector<std::unique_ptr<UdpEndpoint>> endpoints_;
   std::vector<std::thread> threads_;
   std::vector<std::atomic<bool>> crashed_;

@@ -1,0 +1,130 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace tw::obs {
+
+void Histogram::record(std::uint64_t v) {
+  const int bucket = v == 0 ? 0 : static_cast<int>(std::bit_width(v));
+  buckets_[static_cast<std::size_t>(bucket == kBuckets ? kBuckets - 1
+                                                       : bucket)]
+      .fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // Racy min/max updates are acceptable: metrics, not invariants.
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v)) {
+  }
+}
+
+std::uint64_t Histogram::min() const {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+std::uint64_t Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::percentile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank over the bucket counts.
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Upper bound of bucket i: values v with bit_width(v) == i.
+      return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+    }
+  }
+  return max();
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::vector<std::uint64_t> out(kBuckets);
+  for (int i = 0; i < kBuckets; ++i)
+    out[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t MetricsSnapshot::sum_prefix(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (auto it = counters.lower_bound(prefix); it != counters.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second;
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) os << name << ' ' << value << '\n';
+  for (const auto& [name, h] : histograms) {
+    os << name << " count=" << h.count << " sum=" << h.sum << " min=" << h.min
+       << " max=" << h.max << " p50<=" << h.p50 << " p99<=" << h.p99 << '\n';
+  }
+  return os.str();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Registry::SourceId Registry::register_source(Source source) {
+  const std::lock_guard lock(mu_);
+  const SourceId id = next_source_++;
+  sources_.emplace(id, std::move(source));
+  return id;
+}
+
+void Registry::unregister_source(SourceId id) {
+  const std::lock_guard lock(mu_);
+  sources_.erase(id);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->get();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramView v;
+    v.count = h->count();
+    v.sum = h->sum();
+    v.min = h->min();
+    v.max = h->max();
+    v.p50 = h->percentile(0.5);
+    v.p99 = h->percentile(0.99);
+    snap.histograms[name] = v;
+  }
+  for (const auto& [id, source] : sources_) source(snap.counters);
+  return snap;
+}
+
+}  // namespace tw::obs

@@ -1,0 +1,128 @@
+// Central metrics registry: named counters, bounded histograms, and pull
+// sources, unified behind one snapshot API.
+//
+// Three ingestion styles, so every existing ad-hoc counter in the stack has
+// a natural home without hot-path regressions:
+//  - Counter/Histogram handles: resolve once by name, then lock-free atomic
+//    updates (UDP transport, event loop — multi-threaded).
+//  - Pull sources: a callback registered under a prefix that exports an
+//    existing counter block (sim::MessageStats, gms::NodeStats) at
+//    snapshot() time — zero overhead on the hot path.
+//  - snapshot(): merges both into one name → value map that benches, the
+//    torture oracle and tests read.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tw::obs {
+
+/// Monotone (but resettable) 64-bit counter. Thread-safe.
+class Counter {
+ public:
+  void inc(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t get() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  /// Rewind to zero — used by per-incarnation stats ("since last on_start").
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Bounded log2-bucket histogram of non-negative values (e.g. latencies in
+/// µs, datagram sizes in bytes). 64 buckets cover the whole u64 range;
+/// bucket i counts values with bit_width(v) == i, i.e. [2^(i-1), 2^i).
+/// Thread-safe; memory is O(1).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t v);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const;
+  [[nodiscard]] std::uint64_t max() const;
+  [[nodiscard]] double mean() const;
+  /// Upper bound of the bucket holding the q-quantile (q in [0,1]);
+  /// 0 when empty. Log2 buckets give a ≤2× overestimate — the right
+  /// resolution for "is this 50µs or 50ms" latency questions at O(1) memory.
+  [[nodiscard]] std::uint64_t percentile(double q) const;
+
+  [[nodiscard]] std::vector<std::uint64_t> buckets() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time view of every metric the registry knows about.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+
+  struct HistogramView {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+  };
+  std::map<std::string, HistogramView> histograms;
+
+  /// Counter value by name; 0 if absent.
+  [[nodiscard]] std::uint64_t value(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  /// Sum of all counters whose name starts with `prefix`.
+  [[nodiscard]] std::uint64_t sum_prefix(const std::string& prefix) const;
+
+  /// "name value" lines, sorted by name (counters then histograms).
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Registry {
+ public:
+  using SourceId = std::uint64_t;
+  /// A pull source appends `name → value` pairs at snapshot time.
+  using Source =
+      std::function<void(std::map<std::string, std::uint64_t>&)>;
+
+  /// Find-or-create. The returned reference is stable for the registry's
+  /// lifetime; resolve once and keep the handle on hot paths.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Register a pull source; returns an id for unregister_source. The
+  /// source must stay valid until unregistered (or the registry dies).
+  SourceId register_source(Source source);
+  void unregister_source(SourceId id);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<SourceId, Source> sources_;
+  SourceId next_source_ = 1;
+};
+
+}  // namespace tw::obs

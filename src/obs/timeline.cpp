@@ -1,0 +1,155 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "net/msg_kind.hpp"  // header-only: names for wire kind bytes
+
+namespace tw::obs {
+
+std::vector<Event> merge_timeline(std::vector<Event> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& x, const Event& y) {
+                     return x.t_sync() < y.t_sync();
+                   });
+  return events;
+}
+
+namespace {
+
+/// GcState values that mean "an election / failure handling episode is in
+/// progress" (see gms/state.hpp: wrong_suspicion=2, 1-failure-receive=3,
+/// 1-failure-send=4, n-failure=5). A view install following one of these
+/// (or an explicit suspicion) is attributed to that trigger.
+bool is_degraded_state(std::uint64_t s) { return s >= 2 && s <= 5; }
+
+}  // namespace
+
+TimelineReport analyze_timeline(const std::vector<Event>& merged) {
+  TimelineReport report;
+  std::int64_t last_trigger = -1;
+  std::map<std::uint64_t, std::size_t> view_index;  // gid -> report.views idx
+  for (const Event& e : merged) {
+    ++report.events_by_process[e.p];
+    switch (e.kind) {
+      case EvKind::dgram_send:
+        ++report.sent_total;
+        ++report.sent_by_kind[e.arg];
+        break;
+      case EvKind::dgram_recv:
+        ++report.recv_total;
+        break;
+      case EvKind::dgram_drop:
+        ++report.drops_by_reason[e.arg];
+        break;
+      case EvKind::suspect:
+        last_trigger = e.t_sync();
+        break;
+      case EvKind::fsm_transition:
+        if (is_degraded_state(e.a)) last_trigger = e.t_sync();
+        break;
+      case EvKind::view_install: {
+        const auto it = view_index.find(e.a);
+        if (it == view_index.end()) {
+          ViewStat v;
+          v.gid = e.a;
+          v.members_bits = e.b;
+          v.installs = 1;
+          v.first_install = v.last_install = e.t_sync();
+          if (last_trigger >= 0) v.latency_us = e.t_sync() - last_trigger;
+          view_index[e.a] = report.views.size();
+          report.views.push_back(v);
+        } else {
+          ViewStat& v = report.views[it->second];
+          ++v.installs;
+          v.last_install = std::max(v.last_install, e.t_sync());
+          v.first_install = std::min(v.first_install, e.t_sync());
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return report;
+}
+
+std::string format_event(const Event& e) {
+  std::ostringstream os;
+  os << e.t_sync() << " p" << e.p << ' ' << ev_kind_name(e.kind);
+  switch (e.kind) {
+    case EvKind::dgram_send:
+    case EvKind::dgram_recv:
+      os << ' ' << net::msg_kind_name(static_cast<net::MsgKind>(e.arg))
+         << " peer=" << e.a << " bytes=" << e.b;
+      break;
+    case EvKind::dgram_drop:
+      os << ' ' << drop_reason_name(static_cast<DropReason>(e.arg))
+         << " peer=" << static_cast<std::int64_t>(e.a) << " info=" << e.b;
+      break;
+    case EvKind::timer_arm:
+      os << " id=" << e.a << " deadline=" << e.b;
+      break;
+    case EvKind::timer_fire:
+      os << " deadline=" << e.a;
+      break;
+    case EvKind::timer_cancel:
+      os << " id=" << e.a;
+      break;
+    case EvKind::post_wake:
+      os << " queued=" << e.a;
+      break;
+    case EvKind::clock_round:
+      os << (e.arg != 0 ? " synced" : " unsynced") << " fresh=" << e.a
+         << " offset=" << static_cast<std::int64_t>(e.b);
+      break;
+    case EvKind::bcast_order:
+    case EvKind::bcast_deliver:
+      os << " ordinal=" << e.a << " proposer=" << e.b;
+      break;
+    case EvKind::fsm_transition:
+      os << " " << e.b << "->" << e.a;
+      break;
+    case EvKind::view_install:
+      os << " gid=" << e.a << " members=0x" << std::hex << e.b << std::dec;
+      break;
+    case EvKind::suspect:
+      os << " suspect=" << e.a;
+      break;
+    default:
+      if (e.a != 0 || e.b != 0) os << " a=" << e.a << " b=" << e.b;
+      break;
+  }
+  os << " (hw=" << e.t << " off=" << e.off << ')';
+  return os.str();
+}
+
+std::string TimelineReport::to_string() const {
+  std::ostringstream os;
+  os << "== messages ==\n";
+  os << "sent " << sent_total << "  received " << recv_total << '\n';
+  for (const auto& [kind, n] : sent_by_kind)
+    os << "  " << net::msg_kind_name(static_cast<net::MsgKind>(kind)) << ' '
+       << n << '\n';
+  if (!drops_by_reason.empty()) {
+    os << "== drops ==\n";
+    for (const auto& [reason, n] : drops_by_reason)
+      os << "  " << drop_reason_name(static_cast<DropReason>(reason)) << ' '
+         << n << '\n';
+  }
+  os << "== views ==\n";
+  for (const ViewStat& v : views) {
+    os << "  gid=" << v.gid << " members=0x" << std::hex << v.members_bits
+       << std::dec << " installs=" << v.installs << " spread="
+       << v.spread_us() << "us";
+    if (v.latency_us >= 0)
+      os << " latency=" << v.latency_us << "us (from last suspicion)";
+    os << '\n';
+  }
+  os << "== events per process ==\n";
+  for (const auto& [p, n] : events_by_process)
+    os << "  p" << p << ' ' << n << '\n';
+  return os.str();
+}
+
+}  // namespace tw::obs

@@ -1,0 +1,62 @@
+// Cross-process timeline reconstruction from per-process trace rings.
+//
+// Each process's records are stamped with its hardware clock plus the
+// clock-sync correction known at emit time; merging orders everything by
+// that synchronized-clock estimate (t + off), turning N asynchronous
+// per-process logs into one approximately-synchronous execution timeline.
+// On top of the merged stream this module computes the measurements the
+// paper's evaluation needs: per-kind message counts, drop breakdown, and
+// per-view install latency/skew.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tw::obs {
+
+/// Stable-merge events from any number of processes into synchronized-time
+/// order (ties keep input order, so one process's records never reorder).
+[[nodiscard]] std::vector<Event> merge_timeline(std::vector<Event> events);
+
+/// Per-view install statistics extracted from view_install records.
+struct ViewStat {
+  std::uint64_t gid = 0;
+  std::uint64_t members_bits = 0;
+  int installs = 0;              ///< how many processes installed it
+  std::int64_t first_install = 0;  ///< sync time of the first install
+  std::int64_t last_install = 0;   ///< sync time of the last install
+  /// first_install − the latest preceding suspicion/degraded-FSM record;
+  /// -1 when no trigger precedes it (e.g. the initial formation).
+  std::int64_t latency_us = -1;
+
+  /// Install skew across the group (last − first).
+  [[nodiscard]] std::int64_t spread_us() const {
+    return last_install - first_install;
+  }
+};
+
+struct TimelineReport {
+  /// dgram_send count per message-kind byte (the wire tag).
+  std::map<std::uint8_t, std::uint64_t> sent_by_kind;
+  /// dgram_drop count per DropReason byte.
+  std::map<std::uint8_t, std::uint64_t> drops_by_reason;
+  std::uint64_t recv_total = 0;
+  std::uint64_t sent_total = 0;
+  std::vector<ViewStat> views;  ///< in order of first install
+  std::map<std::uint32_t, std::uint64_t> events_by_process;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Analyze a merged (time-ordered) timeline.
+[[nodiscard]] TimelineReport analyze_timeline(
+    const std::vector<Event>& merged);
+
+/// Human-readable one-line rendering of a record (for `twtrace --dump`).
+[[nodiscard]] std::string format_event(const Event& e);
+
+}  // namespace tw::obs

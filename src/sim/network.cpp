@@ -109,6 +109,9 @@ void DatagramNetwork::schedule_delivery(ProcessId from, ProcessId to,
               if (util::crc32c(payload) != expected) {
                 ++stats_.total.dropped_corrupt;
                 ++c.dropped_corrupt;
+                if (drop_hook_)
+                  drop_hook_(from, to, kind_of(payload), DropCause::corrupt,
+                             payload.size());
                 return;  // CRC rejection: never reaches the stack
               }
               ++stats_.total.delivered;
@@ -138,11 +141,15 @@ void DatagramNetwork::transmit(ProcessId from, ProcessId to,
   if (!procs_.is_up(to)) {
     ++stats_.total.dropped_crashed;
     ++kc.dropped_crashed;
+    if (drop_hook_)
+      drop_hook_(from, to, kind, DropCause::crashed, payload.size());
     return;
   }
   if (!link_up(from, to)) {
     ++stats_.total.dropped_link;
     ++kc.dropped_link;
+    if (drop_hook_)
+      drop_hook_(from, to, kind, DropCause::link, payload.size());
     return;
   }
   Duration delay = 0;
@@ -153,6 +160,8 @@ void DatagramNetwork::transmit(ProcessId from, ProcessId to,
       case RuleAction::drop:
         ++stats_.total.dropped_rule;
         ++kc.dropped_rule;
+        if (drop_hook_)
+          drop_hook_(from, to, kind, DropCause::rule, payload.size());
         return;
       case RuleAction::delay:
         delay = delays_.delta + rule->extra_delay;  // forced perf failure
@@ -170,6 +179,8 @@ void DatagramNetwork::transmit(ProcessId from, ProcessId to,
     if (sim_.rng().chance(delays_.loss_prob)) {
       ++stats_.total.dropped_loss;
       ++kc.dropped_loss;
+      if (drop_hook_)
+        drop_hook_(from, to, kind, DropCause::loss, payload.size());
       return;
     }
     delay = delays_.sample(sim_.rng());

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "sim/message_stats.hpp"
@@ -36,10 +37,20 @@ struct NetFaultModel {
   }
 };
 
+/// Why the network discarded an in-flight datagram (observability hook).
+enum class DropCause : std::uint8_t { crashed, link, rule, loss, corrupt };
+
 class DatagramNetwork {
  public:
   DatagramNetwork(Simulator& simulator, ProcessService& procs,
                   DelayModel delays);
+
+  /// Called once per discarded datagram with (from, to, kind tag, cause,
+  /// payload bytes); lets the transport layer trace drops without the
+  /// network knowing about trace rings.
+  using DropHook = std::function<void(ProcessId, ProcessId, std::uint8_t,
+                                      DropCause, std::size_t)>;
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
   /// Send to every other team member (UDP-broadcast style; the sender does
   /// not receive its own datagram).
@@ -118,6 +129,7 @@ class DatagramNetwork {
   DelayModel delays_;
   NetFaultModel faults_;
   MessageStats stats_;
+  DropHook drop_hook_;
   std::vector<std::vector<bool>> link_up_;  // [from][to]
   std::deque<Rule> rules_;
 };

@@ -14,6 +14,7 @@ RunResult TortureEngine::run_plan(const FaultPlan& plan) const {
   apply_plan(plan, harness);
   harness.start();
   result.report = run_oracle(harness, plan);
+  if (!result.report.passed()) result.trace_jsonl = harness.trace_jsonl();
   return result;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "torture/fault_plan.hpp"
@@ -19,6 +20,9 @@ struct RunResult {
   std::uint64_t seed = 0;
   OracleReport report;
   FaultPlan plan;
+  /// Merged cross-process trace (JSONL, twtrace-compatible) of the run.
+  /// Captured only for FAILING runs, so a passing sweep stays cheap.
+  std::string trace_jsonl;
 
   [[nodiscard]] bool passed() const { return report.passed(); }
 };

@@ -143,18 +143,19 @@ OracleReport run_oracle(gms::SimHarness& harness, const FaultPlan& plan) {
 
   // Corruption containment: every datagram mutated in flight must have been
   // rejected by the CRC check, and nothing the application delivered may
-  // carry a payload outside the issued workload tags.
-  auto& stats = harness.cluster().network().stats();
-  report.corrupted = stats.total.corrupted;
-  report.dropped_corrupt = stats.total.dropped_corrupt;
-  report.duplicated = stats.total.duplicated;
-  report.reordered = stats.total.reordered;
-  report.delivered = stats.total.delivered;
-  if (stats.total.corrupted != stats.total.dropped_corrupt) {
+  // carry a payload outside the issued workload tags. Read through the
+  // metrics registry snapshot — the same surface benches and tools use.
+  const obs::MetricsSnapshot snap = harness.metrics();
+  report.corrupted = snap.value("net.corrupted");
+  report.dropped_corrupt = snap.value("net.dropped_corrupt");
+  report.duplicated = snap.value("net.duplicated");
+  report.reordered = snap.value("net.reordered");
+  report.delivered = snap.value("net.delivered");
+  if (report.corrupted != report.dropped_corrupt) {
     report.violations.push_back(
-        "corruption leak: " + std::to_string(stats.total.corrupted) +
+        "corruption leak: " + std::to_string(report.corrupted) +
         " datagrams corrupted but only " +
-        std::to_string(stats.total.dropped_corrupt) + " rejected by CRC");
+        std::to_string(report.dropped_corrupt) + " rejected by CRC");
   }
   {
     std::set<std::uint64_t> issued;

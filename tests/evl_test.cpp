@@ -7,6 +7,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 namespace tw::evl {
 namespace {
@@ -77,6 +79,62 @@ TEST(EventLoop, PostFromOtherThread) {
   loop.run();
   poster.join();
   EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, PostWakesSleepingPollImmediately) {
+  // Regression: post() used to only enqueue, so a sleeping poll_once() slept
+  // out its full timeout before noticing. With the wakeup descriptor the
+  // callback must run orders of magnitude sooner than the 500ms poll budget.
+  EventLoop loop;
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> woke_at_us{0};
+  std::thread loop_thread([&] {
+    while (!done.load()) loop.poll_once(sim::msec(500));
+  });
+  // Give the loop thread time to be asleep inside poll().
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const std::int64_t posted_at = EventLoop::mono_now_us();
+  loop.post([&] {
+    woke_at_us = EventLoop::mono_now_us();
+    done = true;
+  });
+  loop_thread.join();
+  const std::int64_t latency_us = woke_at_us.load() - posted_at;
+  EXPECT_GE(latency_us, 0);
+  // Well under the poll timeout; generous bound for loaded CI machines.
+  EXPECT_LT(latency_us, 50 * 1000) << "post() did not interrupt poll";
+}
+
+TEST(EventLoop, ImmediateRearmFiresInSamePoll) {
+  // Regression: dispatch_due_timers() captured `now` once, so a callback
+  // re-arming an already-due timer stalled until the next poll_once(). The
+  // loop now re-reads the clock per iteration, so a short chain of immediate
+  // re-arms completes inside one pass.
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) loop.add_timer_at(0, chain);  // deadline in the past
+  };
+  loop.add_timer_at(0, chain);
+  const int dispatched = loop.poll_once(0);
+  EXPECT_EQ(count, 5);
+  EXPECT_GE(dispatched, 5);
+}
+
+TEST(EventLoop, RunawayRearmChainIsBoundedPerPoll) {
+  // A pathological always-due re-arm must not starve the rest of the loop:
+  // one poll_once() dispatches at most kMaxTimerDispatchPerPoll timers.
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    loop.add_timer_at(0, forever);
+  };
+  loop.add_timer_at(0, forever);
+  loop.poll_once(0);
+  EXPECT_EQ(count, EventLoop::kMaxTimerDispatchPerPoll);
+  loop.poll_once(0);  // the chain resumes on the next pass
+  EXPECT_EQ(count, 2 * EventLoop::kMaxTimerDispatchPerPoll);
 }
 
 TEST(EventBasedDemux, DispatchesToCorrectHandler) {

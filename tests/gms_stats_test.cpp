@@ -109,5 +109,44 @@ TEST(NodeStats, WrongSuspicionCounted) {
     EXPECT_EQ(h.node(p).stats().exclusions, 0u) << "p" << p;
 }
 
+TEST(NodeStats, MetricsSnapshotMirrorsNodeStatsAndNetCounters) {
+  // The registry snapshot is the single read path the benches and the
+  // torture oracle use; it must agree with direct NodeStats reads and
+  // carry the simulated-network counters alongside them.
+  SimHarness h(cfg_n(4, 6));
+  h.start();
+  ASSERT_TRUE(h.run_until_group(util::ProcessSet::full(4), sim::sec(10)));
+  for (std::uint64_t i = 0; i < 3; ++i) h.propose(2, i);
+  h.run_for(sim::sec(2));
+
+  const obs::MetricsSnapshot snap = h.metrics();
+  for (ProcessId p = 0; p < 4; ++p) {
+    const NodeStats& s = h.node(p).stats();
+    const std::string prefix = "gms.p" + std::to_string(p) + '.';
+    EXPECT_EQ(snap.value(prefix + "decisions_sent"), s.decisions_sent);
+    EXPECT_EQ(snap.value(prefix + "proposals_sent"), s.proposals_sent);
+    EXPECT_EQ(snap.value(prefix + "views_installed"), s.views_installed);
+    EXPECT_EQ(snap.value(prefix + "exclusions"), s.exclusions);
+  }
+  EXPECT_EQ(snap.value("gms.p2.proposals_sent"), 3u);
+  EXPECT_EQ(snap.sum_prefix("gms.") > 0, true);
+
+  // sim::MessageStats rides along in the same snapshot.
+  EXPECT_GT(snap.value("net.sent"), 0u);
+  EXPECT_GT(snap.value("net.delivered"), 0u);
+  EXPECT_GT(snap.value("net.kind.decision.sent"), 0u);
+  EXPECT_EQ(snap.value("net.dropped_corrupt"), 0u);
+
+  // The merged trace exists and exports to parseable JSONL.
+  const auto trace = h.merged_trace();
+  std::uint64_t installs = 0;
+  for (const obs::Event& e : trace)
+    if (e.kind == obs::EvKind::view_install) ++installs;
+  EXPECT_GE(installs, 4u);  // every member installed the formation view
+  std::vector<obs::Event> parsed;
+  ASSERT_TRUE(obs::parse_jsonl(h.trace_jsonl(), parsed));
+  EXPECT_EQ(parsed.size(), trace.size());
+}
+
 }  // namespace
 }  // namespace tw::gms

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <memory>
 
 #include "gms/timewheel_node.hpp"
@@ -220,6 +221,114 @@ TEST(UdpTransport, CrcRejectsCorruptDatagrams) {
   // The rejection is accounted: exactly one datagram failed its CRC.
   EXPECT_EQ(cluster.crc_dropped(1), 1u);
   EXPECT_EQ(cluster.crc_dropped(0), 0u);
+}
+
+TEST(UdpTransport, FailedSendCountsAsOmissionNotSuccess) {
+  // Regression: send_raw() ignored the sendto() return value, silently
+  // losing local send failures. An oversized datagram (> the 64KiB UDP
+  // limit) fails deterministically with EMSGSIZE and must be accounted as
+  // an omission in the metrics registry and the trace ring — and must not
+  // be reported as sent.
+  UdpClusterConfig cfg;
+  cfg.n = 2;
+  cfg.base_port = 48371;
+  UdpCluster cluster(cfg);
+  std::atomic<int> received{0};
+  struct CountHandler final : Handler {
+    std::atomic<int>& counter;
+    explicit CountHandler(std::atomic<int>& c) : counter(c) {}
+    void on_start() override {}
+    void on_datagram(ProcessId, std::span<const std::byte>) override {
+      counter.fetch_add(1);
+    }
+  };
+  CountHandler h0(received), h1(received);
+  cluster.bind(0, h0);
+  cluster.bind(1, h1);
+  cluster.start();
+
+  std::atomic<bool> sent{false};
+  cluster.post(0, [&] {
+    std::vector<std::byte> huge(70'000, std::byte{9});
+    cluster.endpoint(0).send(1, std::move(huge));
+    // A normal-sized datagram afterwards still goes through.
+    cluster.endpoint(0).send(1, {std::byte{9}, std::byte{1}});
+    sent = true;
+  });
+  for (int i = 0; i < 200 && (!sent.load() || received.load() < 1); ++i) {
+    timespec req{0, 10'000'000};
+    nanosleep(&req, nullptr);
+  }
+  cluster.stop();
+
+  EXPECT_EQ(received.load(), 1);
+  const obs::MetricsSnapshot snap = cluster.metrics().snapshot();
+  EXPECT_EQ(snap.value("udp.p0.send_omitted"), 1u);
+  EXPECT_EQ(snap.value("udp.p0.sent"), 1u);  // only the small one counts
+  EXPECT_EQ(snap.value("udp.p1.received"), 1u);
+
+  // The omission is visible in the merged trace with its errno recorded.
+  int omissions = 0;
+  for (const obs::Event& e : cluster.merged_trace())
+    if (e.kind == obs::EvKind::dgram_drop &&
+        e.arg == static_cast<std::uint8_t>(obs::DropReason::send_fail)) {
+      ++omissions;
+      EXPECT_EQ(e.p, 0u);
+      EXPECT_EQ(e.a, 1u);          // intended destination
+      // The real errno, not a would-block.
+      EXPECT_EQ(e.b, static_cast<std::uint64_t>(EMSGSIZE));
+    }
+  EXPECT_EQ(omissions, 1);
+}
+
+TEST(UdpTransport, MergedTraceOrdersSendBeforeReceive) {
+  // End-to-end observability over real sockets: the per-member trace rings
+  // merge into one timeline where (after clock-offset correction) each
+  // datagram's send precedes its receive.
+  UdpClusterConfig cfg;
+  cfg.n = 2;
+  cfg.base_port = 48391;
+  // No synthetic skew: no clock-sync service runs in this test, so recorder
+  // corrections stay 0 and timestamps are only comparable on one clock.
+  cfg.clock_offset_step = 0;
+  UdpCluster cluster(cfg);
+  std::atomic<int> received{0};
+  struct CountHandler final : Handler {
+    std::atomic<int>& counter;
+    explicit CountHandler(std::atomic<int>& c) : counter(c) {}
+    void on_start() override {}
+    void on_datagram(ProcessId, std::span<const std::byte>) override {
+      counter.fetch_add(1);
+    }
+  };
+  CountHandler h0(received), h1(received);
+  cluster.bind(0, h0);
+  cluster.bind(1, h1);
+  cluster.start();
+  cluster.post(1, [&cluster] {
+    cluster.endpoint(1).send(0, {std::byte{9}, std::byte{5}});
+  });
+  for (int i = 0; i < 200 && received.load() < 1; ++i) {
+    timespec req{0, 10'000'000};
+    nanosleep(&req, nullptr);
+  }
+  cluster.stop();
+  ASSERT_EQ(received.load(), 1);
+
+  const auto trace = cluster.merged_trace();
+  std::int64_t send_at = -1, recv_at = -1;
+  for (const obs::Event& e : trace) {
+    if (e.kind == obs::EvKind::dgram_send && e.p == 1) send_at = e.t_sync();
+    if (e.kind == obs::EvKind::dgram_recv && e.p == 0) recv_at = e.t_sync();
+  }
+  ASSERT_GE(send_at, 0);
+  ASSERT_GE(recv_at, 0);
+  // Both members read the same monotonic clock, so the merged timeline puts
+  // send and receive within a whisker of each other. Exact ordering is not
+  // guaranteed: the send event is stamped after sendto() returns, and over
+  // loopback the receiver thread can stamp its receive a few µs earlier.
+  EXPECT_LE(send_at, recv_at + 50'000);
+  EXPECT_LE(recv_at, send_at + 2'000'000);
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+// Metrics registry: counters, histograms, pull sources, snapshots.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tw::obs {
+namespace {
+
+TEST(Counter, IncGetReset) {
+  Counter c;
+  EXPECT_EQ(c.get(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.get(), 42u);
+  c.reset();
+  EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(Registry, CounterHandleIsStableAcrossInserts) {
+  Registry reg;
+  Counter& a = reg.counter("a");
+  a.inc();
+  // Force rebalancing/inserts around it.
+  for (int i = 0; i < 100; ++i) reg.counter("x" + std::to_string(i));
+  a.inc();
+  EXPECT_EQ(reg.counter("a").get(), 2u);
+  EXPECT_EQ(&reg.counter("a"), &a);
+}
+
+TEST(Histogram, BucketsPercentilesAndStats) {
+  Histogram h;
+  for (std::uint64_t v : {1u, 1u, 1u, 1u, 1u, 1u, 1u, 1u, 1u, 1000u})
+    h.record(v);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.sum(), 9u + 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 100.9);
+  // p50 falls in the bit_width==1 bucket ([1,1]); upper bound 1.
+  EXPECT_EQ(h.percentile(0.5), 1u);
+  // The max lands in the 1000 value's bucket: bit_width(1000)=10 → 1023.
+  EXPECT_EQ(h.percentile(1.0), 1023u);
+  EXPECT_EQ(h.percentile(0.0), 1u);
+}
+
+TEST(Histogram, EmptyAndZero) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  h.record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(Histogram, ConcurrentRecordsDontLoseCounts) {
+  Histogram h;
+  constexpr int kThreads = 4, kPer = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPer; ++i)
+        h.record(static_cast<std::uint64_t>(i));
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPer));
+  EXPECT_EQ(h.max(), static_cast<std::uint64_t>(kPer - 1));
+}
+
+TEST(Registry, SnapshotMergesCountersHistogramsAndSources) {
+  Registry reg;
+  reg.counter("net.sent").inc(7);
+  reg.histogram("lat_us").record(100);
+  reg.histogram("lat_us").record(200);
+  const Registry::SourceId src = reg.register_source(
+      [](std::map<std::string, std::uint64_t>& out) {
+        out["gms.p0.views_installed"] = 3;
+        out["gms.p1.views_installed"] = 2;
+      });
+
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("net.sent"), 7u);
+  EXPECT_EQ(snap.value("gms.p0.views_installed"), 3u);
+  EXPECT_EQ(snap.value("absent"), 0u);
+  EXPECT_EQ(snap.sum_prefix("gms."), 5u);
+  ASSERT_EQ(snap.histograms.count("lat_us"), 1u);
+  EXPECT_EQ(snap.histograms["lat_us"].count, 2u);
+  EXPECT_EQ(snap.histograms["lat_us"].min, 100u);
+  EXPECT_EQ(snap.histograms["lat_us"].max, 200u);
+  EXPECT_NE(snap.to_string().find("net.sent 7"), std::string::npos);
+
+  reg.unregister_source(src);
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.value("gms.p0.views_installed"), 0u);
+  EXPECT_EQ(snap.value("net.sent"), 7u);
+}
+
+TEST(Registry, SumPrefixStopsAtPrefixBoundary) {
+  Registry reg;
+  reg.counter("udp.p0.sent").inc(1);
+  reg.counter("udp.p1.sent").inc(2);
+  reg.counter("udq.other").inc(100);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.sum_prefix("udp."), 3u);
+}
+
+}  // namespace
+}  // namespace tw::obs

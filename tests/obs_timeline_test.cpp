@@ -1,0 +1,122 @@
+// Cross-process timeline merging and analysis.
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/msg_kind.hpp"
+
+namespace tw::obs {
+namespace {
+
+Event ev(std::int64_t t, std::int64_t off, std::uint32_t p, EvKind k,
+         std::uint8_t arg = 0, std::uint64_t a = 0, std::uint64_t b = 0) {
+  Event e;
+  e.t = t;
+  e.off = off;
+  e.p = p;
+  e.kind = k;
+  e.arg = arg;
+  e.a = a;
+  e.b = b;
+  return e;
+}
+
+TEST(Timeline, MergeOrdersBySynchronizedTimeNotHardwareTime) {
+  // p1's hardware clock runs 1s ahead; its correction is -1s. An event it
+  // stamped hw=1'500'000 really happened at sync 500'000 — before p0's
+  // hw=600'000/off=0 event despite the larger raw timestamp.
+  std::vector<Event> in;
+  in.push_back(ev(600000, 0, 0, EvKind::view_install));
+  in.push_back(ev(1500000, -1000000, 1, EvKind::suspect));
+  const auto merged = merge_timeline(in);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].p, 1u);
+  EXPECT_EQ(merged[1].p, 0u);
+}
+
+TEST(Timeline, MergeIsStableForTies) {
+  std::vector<Event> in;
+  in.push_back(ev(100, 0, 0, EvKind::timer_arm, 0, 1));
+  in.push_back(ev(100, 0, 0, EvKind::timer_fire, 0, 2));
+  const auto merged = merge_timeline(in);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].kind, EvKind::timer_arm);
+  EXPECT_EQ(merged[1].kind, EvKind::timer_fire);
+}
+
+TEST(Timeline, AnalyzeCountsMessagesAndDrops) {
+  const auto kProposal =
+      static_cast<std::uint8_t>(net::MsgKind::proposal);
+  const auto kDecision =
+      static_cast<std::uint8_t>(net::MsgKind::decision);
+  std::vector<Event> in;
+  in.push_back(ev(1, 0, 0, EvKind::dgram_send, kProposal, 1, 64));
+  in.push_back(ev(2, 0, 0, EvKind::dgram_send, kProposal, 2, 64));
+  in.push_back(ev(3, 0, 1, EvKind::dgram_send, kDecision, 0, 32));
+  in.push_back(ev(4, 0, 1, EvKind::dgram_recv, kProposal, 0, 64));
+  in.push_back(ev(5, 0, 2, EvKind::dgram_drop,
+                  static_cast<std::uint8_t>(DropReason::crc)));
+  const auto report = analyze_timeline(merge_timeline(in));
+  EXPECT_EQ(report.sent_total, 3u);
+  EXPECT_EQ(report.recv_total, 1u);
+  EXPECT_EQ(report.sent_by_kind.at(kProposal), 2u);
+  EXPECT_EQ(report.sent_by_kind.at(kDecision), 1u);
+  EXPECT_EQ(report.drops_by_reason.at(
+                static_cast<std::uint8_t>(DropReason::crc)),
+            1u);
+  EXPECT_EQ(report.events_by_process.at(0), 2u);
+}
+
+TEST(Timeline, ViewChangeLatencyFromSuspicionToFirstInstall) {
+  std::vector<Event> in;
+  // Initial formation: no trigger before it → latency unknown (-1).
+  in.push_back(ev(1000, 0, 0, EvKind::view_install, 0, 1, 0b111));
+  in.push_back(ev(1100, 0, 1, EvKind::view_install, 0, 1, 0b111));
+  // p2 dies; p0 suspects at t=5000; new view installs at 7000 and 7400.
+  in.push_back(ev(5000, 0, 0, EvKind::suspect, 0, 2));
+  in.push_back(ev(7000, 0, 0, EvKind::view_install, 0, 2, 0b011));
+  in.push_back(ev(7400, 0, 1, EvKind::view_install, 0, 2, 0b011));
+  const auto report = analyze_timeline(merge_timeline(in));
+  ASSERT_EQ(report.views.size(), 2u);
+  EXPECT_EQ(report.views[0].gid, 1u);
+  EXPECT_EQ(report.views[0].installs, 2);
+  EXPECT_EQ(report.views[0].latency_us, -1);
+  EXPECT_EQ(report.views[1].gid, 2u);
+  EXPECT_EQ(report.views[1].installs, 2);
+  EXPECT_EQ(report.views[1].latency_us, 2000);
+  EXPECT_EQ(report.views[1].spread_us(), 400);
+  EXPECT_EQ(report.views[1].members_bits, 0b011u);
+}
+
+TEST(Timeline, DegradedFsmTransitionAlsoTriggersLatency) {
+  std::vector<Event> in;
+  // one_failure_receive = GcState 3: an election episode began.
+  in.push_back(ev(2000, 0, 0, EvKind::fsm_transition, 0, 3, 1));
+  in.push_back(ev(6000, 0, 0, EvKind::view_install, 0, 9, 0b11));
+  const auto report = analyze_timeline(merge_timeline(in));
+  ASSERT_EQ(report.views.size(), 1u);
+  EXPECT_EQ(report.views[0].latency_us, 4000);
+}
+
+TEST(Timeline, FormatAndReportAreHumanReadable) {
+  const Event send = ev(10, -3, 1, EvKind::dgram_send,
+                        static_cast<std::uint8_t>(net::MsgKind::proposal),
+                        2, 64);
+  const std::string line = format_event(send);
+  EXPECT_NE(line.find("p1"), std::string::npos);
+  EXPECT_NE(line.find("proposal"), std::string::npos);
+  EXPECT_NE(line.find("peer=2"), std::string::npos);
+
+  std::vector<Event> in;
+  in.push_back(send);
+  in.push_back(ev(20, 0, 0, EvKind::view_install, 0, 4, 0b11));
+  const std::string text = analyze_timeline(merge_timeline(in)).to_string();
+  EXPECT_NE(text.find("gid=4"), std::string::npos);
+  EXPECT_NE(text.find("proposal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tw::obs

@@ -1,0 +1,156 @@
+// Trace-ring semantics (wraparound, ordering) and JSONL round-trips.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace tw::obs {
+namespace {
+
+Event ev(std::int64_t t, std::uint32_t p, EvKind k, std::uint64_t a = 0,
+         std::uint64_t b = 0) {
+  Event e;
+  e.t = t;
+  e.p = p;
+  e.kind = k;
+  e.a = a;
+  e.b = b;
+  return e;
+}
+
+TEST(TraceRing, RetainsInOrderBelowCapacity) {
+  TraceRing ring(8);
+  for (int i = 0; i < 5; ++i)
+    ring.emit(ev(i, 0, EvKind::timer_fire, static_cast<std::uint64_t>(i)));
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.emitted(), 5u);
+  EXPECT_EQ(ring.overwritten(), 0u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(snap[static_cast<size_t>(i)].t, i);
+}
+
+TEST(TraceRing, WraparoundKeepsNewestAndCountsOverwritten) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i)
+    ring.emit(ev(i, 0, EvKind::dgram_send));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.emitted(), 10u);
+  EXPECT_EQ(ring.overwritten(), 6u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest retained is 6, newest is 9, oldest-to-newest order.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(snap[static_cast<size_t>(i)].t, 6 + i);
+}
+
+TEST(TraceRing, ClearResets) {
+  TraceRing ring(4);
+  for (int i = 0; i < 7; ++i) ring.emit(ev(i, 0, EvKind::timer_arm));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.emitted(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+  ring.emit(ev(42, 1, EvKind::view_install));
+  ASSERT_EQ(ring.snapshot().size(), 1u);
+  EXPECT_EQ(ring.snapshot()[0].t, 42);
+}
+
+TEST(TraceRing, ZeroCapacityIsClampedNotFatal) {
+  TraceRing ring(0);
+  ring.emit(ev(1, 0, EvKind::suspect));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_GE(ring.capacity(), 1u);
+}
+
+TEST(TraceJson, RoundTripsEveryField) {
+  Event e;
+  e.t = 123456789;
+  e.off = -4242;
+  e.p = 7;
+  e.kind = EvKind::dgram_drop;
+  e.arg = static_cast<std::uint8_t>(DropReason::send_fail);
+  e.a = 3;
+  e.b = 0xffffffffffffffffULL;  // u64 extremes must survive
+  Event back;
+  ASSERT_TRUE(from_json(to_json(e), back));
+  EXPECT_EQ(e, back);
+  EXPECT_EQ(back.t_sync(), 123456789 - 4242);
+}
+
+TEST(TraceJson, RoundTripsEveryKind) {
+  for (int k = 0; k <= static_cast<int>(EvKind::node_start); ++k) {
+    Event e = ev(k, 1, static_cast<EvKind>(k));
+    Event back;
+    ASSERT_TRUE(from_json(to_json(e), back)) << ev_kind_name(e.kind);
+    EXPECT_EQ(e, back);
+  }
+}
+
+TEST(TraceJson, RejectsMalformedLines) {
+  Event e;
+  EXPECT_FALSE(from_json("", e));
+  EXPECT_FALSE(from_json("{\"t\":1}", e));                       // no p/k
+  EXPECT_FALSE(from_json("{\"t\":1,\"p\":0,\"k\":\"nope\"}", e));  // bad kind
+  EXPECT_FALSE(from_json("{\"t\":x,\"p\":0,\"k\":\"suspect\"}", e));
+}
+
+TEST(TraceJson, JsonlDocumentRoundTripsThroughRing) {
+  TraceRing ring(16);
+  for (int i = 0; i < 12; ++i)
+    ring.emit(ev(100 + i, static_cast<std::uint32_t>(i % 3),
+                 static_cast<EvKind>(i % 6),
+                 static_cast<std::uint64_t>(i)));
+  const auto events = ring.snapshot();
+  const std::string doc = to_jsonl(events);
+  std::vector<Event> parsed;
+  ASSERT_TRUE(parse_jsonl(doc, parsed));
+  EXPECT_EQ(parsed, events);
+}
+
+TEST(TraceJson, ParseSkipsBlankLinesAndFlagsBadOnes) {
+  std::vector<Event> out;
+  EXPECT_TRUE(parse_jsonl("\n\n" + to_json(ev(1, 0, EvKind::suspect)) + "\n",
+                          out));
+  ASSERT_EQ(out.size(), 1u);
+  out.clear();
+  EXPECT_FALSE(parse_jsonl(to_json(ev(1, 0, EvKind::suspect)) +
+                               "\nnot json\n",
+                           out));
+  EXPECT_EQ(out.size(), 1u);  // the good line still parsed
+}
+
+TEST(TraceNames, KindNamesRoundTrip) {
+  for (int k = 0; k <= static_cast<int>(EvKind::node_start); ++k) {
+    EvKind out;
+    ASSERT_TRUE(ev_kind_from_name(ev_kind_name(static_cast<EvKind>(k)), out));
+    EXPECT_EQ(out, static_cast<EvKind>(k));
+  }
+  EvKind out;
+  EXPECT_FALSE(ev_kind_from_name("bogus", out));
+  EXPECT_STREQ(drop_reason_name(DropReason::rule), "rule");
+}
+
+TEST(Recorder, StampsClockAndCorrection) {
+  std::int64_t fake_now = 1000;
+  Recorder rec(3, [&fake_now] { return fake_now; }, nullptr, 8);
+  rec.emit(EvKind::timer_arm, 0, 1, 2);
+  rec.set_clock_correction(-250);
+  fake_now = 2000;
+  rec.emit(EvKind::timer_fire, 0, 1);
+  const auto snap = rec.ring().snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].t, 1000);
+  EXPECT_EQ(snap[0].off, 0);
+  EXPECT_EQ(snap[0].p, 3u);
+  EXPECT_EQ(snap[1].t, 2000);
+  EXPECT_EQ(snap[1].off, -250);
+  EXPECT_EQ(snap[1].t_sync(), 1750);
+}
+
+}  // namespace
+}  // namespace tw::obs

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "torture/fault_plan.hpp"
 
 namespace tw::torture {
@@ -108,6 +109,47 @@ TEST(TorturePlan, GeneratorKeepsMajorityUpAndMajoritySidePartitions) {
     for (std::size_t i = 1; i < plan.workload.size(); ++i)
       EXPECT_GE(plan.workload[i].at, plan.workload[i - 1].at);
   }
+}
+
+TEST(TortureSmoke, FailingRunCarriesParseableMergedTrace) {
+  // A hand-written plan that crashes a member and never recovers it breaks
+  // the liveness guarantee: the oracle must flag it, and the failing run
+  // must come back with the merged observability trace attached so the
+  // failure is inspectable (the CLI writes it next to the minimized plan).
+  TortureConfig cfg = smoke_config();
+  cfg.settle = sim::sec(4);  // don't wait long for a group that can't form
+  FaultPlan plan;
+  plan.cfg = cfg;
+  plan.seed = 99;
+  FaultOp crash;
+  crash.at = cfg.fault_start;
+  crash.type = FaultType::crash;
+  crash.p = 4;
+  plan.ops.push_back(crash);
+
+  const TortureEngine engine(cfg);
+  const RunResult r = engine.run_plan(plan);
+  ASSERT_FALSE(r.passed());
+  EXPECT_FALSE(r.report.converged);
+  ASSERT_FALSE(r.trace_jsonl.empty());
+
+  std::vector<obs::Event> events;
+  ASSERT_TRUE(obs::parse_jsonl(r.trace_jsonl, events));
+  ASSERT_FALSE(events.empty());
+  // The trace tells the story: views were installed before the crash, and
+  // survivors raised suspicions against the dead member afterwards.
+  bool installed = false, suspected = false;
+  for (const obs::Event& e : events) {
+    if (e.kind == obs::EvKind::view_install) installed = true;
+    if (e.kind == obs::EvKind::suspect && e.a == 4) suspected = true;
+  }
+  EXPECT_TRUE(installed);
+  EXPECT_TRUE(suspected);
+
+  // Passing runs skip the dump (the trace is only for failures).
+  const RunResult ok = engine.run_seed(7);
+  ASSERT_TRUE(ok.passed());
+  EXPECT_TRUE(ok.trace_jsonl.empty());
 }
 
 TEST(TorturePlan, FamilyGatesSuppressFaultTypes) {

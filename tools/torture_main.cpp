@@ -137,15 +137,27 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(run.seed),
                 run.report.to_string().c_str());
     torture::FaultPlan repro = run.plan;
+    std::string trace = run.trace_jsonl;
     if (do_minimize) {
       std::printf("minimizing %zu fault ops...\n", run.plan.ops.size());
       repro = engine.minimize(run.plan);
+      // The minimized schedule is what a developer replays; dump ITS
+      // trace, not the noisier original one.
+      const torture::RunResult rerun = engine.run_plan(repro);
+      if (!rerun.trace_jsonl.empty()) trace = rerun.trace_jsonl;
     }
     std::printf("minimal schedule (%zu ops):\n", repro.ops.size());
     for (const auto& op : repro.ops)
       if (!op.structural) std::printf("  %s\n", op.to_string().c_str());
     std::ofstream out(out_file);
     out << torture::plan_to_string(repro);
+    const std::string trace_file = out_file + ".trace.jsonl";
+    if (!trace.empty()) {
+      std::ofstream tout(trace_file);
+      tout << trace;
+      std::printf("merged trace: %s  (inspect with twtrace)\n",
+                  trace_file.c_str());
+    }
     std::printf(
         "replay: torture_main --replay %s   (or --seed %llu for the full "
         "schedule)\n",
@@ -168,6 +180,14 @@ int main(int argc, char** argv) {
     const torture::RunResult run = engine.run_plan(plan);
     std::printf("replay of %s: %s\n", replay_file.c_str(),
                 run.report.to_string().c_str());
+    if (!run.passed() && !run.trace_jsonl.empty()) {
+      // A replayed plan is already minimal; dump its trace beside it.
+      const std::string trace_file = replay_file + ".trace.jsonl";
+      std::ofstream tout(trace_file);
+      tout << run.trace_jsonl;
+      std::printf("merged trace: %s  (inspect with twtrace)\n",
+                  trace_file.c_str());
+    }
     return run.passed() ? 0 : 1;
   }
 

@@ -1,0 +1,136 @@
+// twtrace — merge per-process JSONL trace files into one cross-process
+// timeline ordered by synchronized-clock timestamps, and summarize it.
+//
+// Input files come from UdpCluster/SimCluster trace rings (one file per
+// process) or from the torture engine's <plan>.trace.jsonl (already merged;
+// re-merging is idempotent). Each line carries its process id, so any mix
+// of per-process and merged files works.
+//
+//   twtrace p0.jsonl p1.jsonl p2.jsonl     # summary: views, counts, drops
+//   twtrace --dump merged.jsonl            # full ordered timeline
+//   twtrace --dump --limit 50 *.jsonl      # first 50 records only
+//   twtrace --kind view_install *.jsonl    # dump only one record kind
+//   twtrace --out merged.jsonl *.jsonl     # write the merged JSONL back out
+//
+// Exit status: 0 = ok, 1 = a file failed to parse, 2 = usage.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr, R"(usage: twtrace [options] FILE...
+  --dump            print every record of the merged timeline
+  --limit N         with --dump: stop after N records
+  --kind NAME       with --dump: only records of this kind (e.g. dgram_drop)
+  --out FILE        write the merged timeline as JSONL to FILE
+  --no-summary      skip the summary report
+FILEs are JSONL trace exports (per-process or already merged).
+)");
+}
+
+bool parse_u(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tw;
+  bool dump = false, summary = true;
+  std::uint64_t limit = 0;
+  bool have_kind = false;
+  obs::EvKind kind_filter = obs::EvKind::dgram_send;
+  std::string out_file;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t u = 0;
+    if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--no-summary") {
+      summary = false;
+    } else if (arg == "--limit" && next() && parse_u(argv[i], u)) {
+      limit = u;
+    } else if (arg == "--kind" && next()) {
+      if (!obs::ev_kind_from_name(argv[i], kind_filter)) {
+        std::fprintf(stderr, "unknown record kind: %s\n", argv[i]);
+        return 2;
+      }
+      have_kind = true;
+      dump = true;
+    } else if (arg == "--out" && next()) {
+      out_file = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    usage();
+    return 2;
+  }
+
+  bool parse_ok = true;
+  std::vector<obs::Event> events;
+  for (const std::string& f : files) {
+    std::ifstream in(f);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", f.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::size_t before = events.size();
+    if (!obs::parse_jsonl(text.str(), events)) {
+      std::fprintf(stderr, "%s: some lines failed to parse\n", f.c_str());
+      parse_ok = false;
+    }
+    std::fprintf(stderr, "%s: %zu records\n", f.c_str(),
+                 events.size() - before);
+  }
+
+  const std::vector<obs::Event> merged =
+      obs::merge_timeline(std::move(events));
+
+  if (!out_file.empty()) {
+    std::ofstream out(out_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_file.c_str());
+      return 1;
+    }
+    obs::write_jsonl(out, merged);
+    std::fprintf(stderr, "wrote %zu records to %s\n", merged.size(),
+                 out_file.c_str());
+  }
+
+  if (dump) {
+    std::uint64_t printed = 0;
+    for (const obs::Event& e : merged) {
+      if (have_kind && e.kind != kind_filter) continue;
+      std::printf("%s\n", obs::format_event(e).c_str());
+      if (limit != 0 && ++printed >= limit) break;
+    }
+  }
+
+  if (summary) {
+    const obs::TimelineReport report = obs::analyze_timeline(merged);
+    std::printf("%s", report.to_string().c_str());
+  }
+  return parse_ok ? 0 : 1;
+}
