@@ -4,24 +4,172 @@
 //
 // Each team member gets its own UDP socket on 127.0.0.1 and its own
 // event-based demultiplexer thread (the §5 architecture). The protocol code
-// is byte-for-byte the one the simulator runs. The demo forms a group,
-// broadcasts updates, simulates a crash (the member goes deaf), shows the
-// election, then recovers it.
+// is byte-for-byte the one the simulator runs.
 //
-//   ./build/examples/udp_cluster [seconds=6]
+// Two modes:
+//
+//   ./build/examples/udp_cluster [seconds=6] [--dir DATA]
+//     In-process demo: forms a group, broadcasts updates, simulates a
+//     crash (the member goes deaf), shows the election, then recovers it.
+//     With --dir every member keeps a durable FileStorage kernel under
+//     DATA/m<p>, so the recovered member re-baselines from disk and the
+//     demo prints its reconstructed recovery timeline.
+//
+//   ./build/examples/udp_cluster --member K --dir DATA [--n N] [seconds=30]
+//     Host ONE member as this OS process (the other N-1 run as their own
+//     processes with the same flags). Because membership state now lives
+//     in DATA/mK, a real `kill -9` of this process followed by a restart
+//     with the same flags is a genuine crash recovery: the new process
+//     replays its durable kernel, rejoins over UDP and catches up.
+//     Try:  for i in 0 1 2 3; do ./udp_cluster --member $i --dir /tmp/tw &
+//           done;  then kill -9 one, restart it, watch it rejoin.
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "gms/timewheel_node.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/timeline.hpp"
+#include "store/stable_store.hpp"
+#include "store/storage.hpp"
 
 using namespace tw;
 
+namespace {
+
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true); }
+
+void sleep_ms(int msv) {
+  timespec req{msv / 1000, (msv % 1000) * 1000000L};
+  nanosleep(&req, nullptr);
+}
+
+void print_recoveries(const std::vector<obs::Event>& merged) {
+  const obs::TimelineReport report = obs::analyze_timeline(merged);
+  if (report.recoveries.empty()) return;
+  std::printf("\nrecovery timeline (from merged trace rings):\n");
+  for (const obs::RecoveryStat& r : report.recoveries) {
+    std::printf("  m%u start=%lldus", r.p, static_cast<long long>(r.start));
+    if (r.store_open >= 0)
+      std::printf("  replay +%lldus (%llu records)",
+                  static_cast<long long>(r.store_open - r.start),
+                  static_cast<unsigned long long>(r.log_records));
+    if (r.rejoin_requests > 0)
+      std::printf("  rejoin_requests=%d", r.rejoin_requests);
+    if (r.rehabilitated >= 0)
+      std::printf("  rehabilitated +%lldus",
+                  static_cast<long long>(r.rehabilitated - r.start));
+    if (r.readmit_view >= 0)
+      std::printf("  readmitted gid=%llu +%lldus",
+                  static_cast<unsigned long long>(r.gid),
+                  static_cast<long long>(r.readmit_view - r.start));
+    std::printf("%s\n", r.total_us() < 0 ? "  [incomplete]" : "");
+  }
+}
+
+/// One member as its own OS process — the kill -9 / restart demo.
+int run_single_member(ProcessId member, const std::string& dir, int team,
+                      int run_seconds) {
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // readable when redirected
+
+  net::UdpClusterConfig cfg;
+  cfg.n = team;
+  cfg.base_port = 47310;
+  cfg.only = static_cast<int>(member);
+  net::UdpCluster cluster(cfg);
+
+  store::FileStorage disk(dir + "/m" + std::to_string(member));
+  store::StableStore store(disk, "m" + std::to_string(member));
+
+  std::atomic<int> delivered{0};
+  gms::AppCallbacks app;
+  app.deliver = [&delivered](const bcast::Proposal&, Ordinal) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  };
+  app.view_change = [member](GroupId gid, util::ProcessSet members) {
+    std::printf("m%u: view #%llu = %s\n", member,
+                static_cast<unsigned long long>(gid),
+                members.to_string().c_str());
+  };
+
+  gms::NodeConfig node_cfg;
+  node_cfg.delta = sim::msec(8);
+  gms::TimewheelNode node(cluster.endpoint(member), node_cfg, app, &store);
+  cluster.bind(member, node);
+
+  std::printf("m%u: starting on UDP 127.0.0.1:%u (durable dir %s)\n", member,
+              cfg.base_port + member, disk.dir().c_str());
+  cluster.start();
+
+  std::uint64_t tick = 0;
+  const int budget_ms = run_seconds > 0 ? run_seconds * 1000 : -1;
+  for (int t = 0; !g_stop.load() && (budget_ms < 0 || t < budget_ms);
+       t += 250) {
+    sleep_ms(250);
+    if (++tick % 4 == 0 && node.in_group()) {
+      // A numbered heartbeat update, so restarts visibly catch up.
+      const std::string text =
+          "m" + std::to_string(member) + " update " + std::to_string(tick);
+      cluster.post(member, [&node, text] {
+        std::vector<std::byte> payload(text.size());
+        std::memcpy(payload.data(), text.data(), text.size());
+        node.propose(std::move(payload), bcast::Order::total);
+      });
+    }
+    if (tick % 8 == 0)
+      std::printf("m%u: inc=%llu in_group=%d view=%s delivered=%d\n", member,
+                  static_cast<unsigned long long>(node.incarnation()),
+                  static_cast<int>(node.in_group()),
+                  node.group().to_string().c_str(), delivered.load());
+  }
+
+  cluster.stop();
+  std::printf("m%u: stopping (delivered %d; kill -9 instead to test "
+              "recovery)\n",
+              member, delivered.load());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const int run_seconds = argc > 1 ? std::atoi(argv[1]) : 6;
+  int run_seconds = -1;
+  int team = 4;
+  int member = -1;
+  std::string dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--member" && i + 1 < argc) {
+      member = std::atoi(argv[++i]);
+    } else if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--n" && i + 1 < argc) {
+      team = std::atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] != '-') {
+      run_seconds = std::atoi(arg.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "usage: udp_cluster [seconds] [--dir DATA] "
+                   "[--member K --dir DATA [--n N]]\n");
+      return 2;
+    }
+  }
+  if (member >= 0) {
+    if (dir.empty()) {
+      std::fprintf(stderr, "--member requires --dir\n");
+      return 2;
+    }
+    return run_single_member(static_cast<ProcessId>(member), dir, team,
+                             run_seconds > 0 ? run_seconds : 30);
+  }
+  if (run_seconds <= 0) run_seconds = 6;
   constexpr int kTeam = 4;
 
   net::UdpClusterConfig cfg;
@@ -31,6 +179,8 @@ int main(int argc, char** argv) {
   net::UdpCluster cluster(cfg);
 
   std::vector<std::atomic<int>> delivered(kTeam);
+  std::vector<std::unique_ptr<store::FileStorage>> disks;
+  std::vector<std::unique_ptr<store::StableStore>> stores;
   std::vector<std::unique_ptr<gms::TimewheelNode>> nodes;
 
   gms::NodeConfig node_cfg;
@@ -50,19 +200,23 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(gid),
                   members.to_string().c_str());
     };
+    store::StableStore* st = nullptr;
+    if (!dir.empty()) {
+      disks.push_back(std::make_unique<store::FileStorage>(
+          dir + "/m" + std::to_string(p)));
+      stores.push_back(std::make_unique<store::StableStore>(
+          *disks.back(), "m" + std::to_string(p)));
+      st = stores.back().get();
+    }
     nodes.push_back(std::make_unique<gms::TimewheelNode>(
-        cluster.endpoint(p), node_cfg, app));
+        cluster.endpoint(p), node_cfg, app, st));
     cluster.bind(p, *nodes.back());
   }
 
-  std::printf("starting %d members on UDP 127.0.0.1:%u..%u\n", kTeam,
-              cfg.base_port, cfg.base_port + kTeam - 1);
+  std::printf("starting %d members on UDP 127.0.0.1:%u..%u%s\n", kTeam,
+              cfg.base_port, cfg.base_port + kTeam - 1,
+              dir.empty() ? "" : " with durable stores");
   cluster.start();
-
-  auto sleep_ms = [](int msv) {
-    timespec req{msv / 1000, (msv % 1000) * 1000000L};
-    nanosleep(&req, nullptr);
-  };
 
   // Wait for the group (clock sync + join slots take ~1-2 s of wall time).
   int waited = 0;
@@ -119,6 +273,8 @@ int main(int argc, char** argv) {
   std::printf("\ndelivered counts:");
   for (ProcessId p = 0; p < kTeam; ++p)
     std::printf(" m%u=%d", p, delivered[p].load());
-  std::printf("\ndone.\n");
+  std::printf("\n");
+  print_recoveries(cluster.merged_trace());
+  std::printf("done.\n");
   return 0;
 }

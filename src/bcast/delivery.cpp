@@ -277,6 +277,18 @@ std::vector<const Proposal*> DeliveryEngine::unordered_proposals(
       continue;
     }
     if (proposer_blocked) continue;  // FIFO: held behind a gap
+    if (s.proposal.fifo_floor > expected) {
+      // The proposer's own declaration: its current incarnation never
+      // proposes below this floor (a restart jumped the sequence to the
+      // durable reservation base). Sequences in [expected, floor) can
+      // never arrive fresh, so waiting out the grace for them is futile —
+      // with gap_grace == max_age it is worse than futile, because a
+      // gapped proposal is held while fresh and skipped as stale the
+      // moment the grace expires: without this jump a recovered proposer
+      // would be wedged forever.
+      expected = s.proposal.fifo_floor;
+      has_history = true;
+    }
     if (has_history && pid.seq > expected &&
         sync_now - s.proposal.send_ts <= gap_grace) {
       // A lower sequence may still be in flight (or retransmitted);

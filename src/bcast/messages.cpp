@@ -65,6 +65,7 @@ std::vector<std::byte> encode_proposal(const Proposal& p) {
   w.u8(static_cast<std::uint8_t>(p.atomicity));
   w.var_u64(p.hdo);
   w.var_i64(p.send_ts);
+  w.var_u64(p.fifo_floor);
   w.bytes(p.payload);
   return std::move(w).take();
 }
@@ -81,6 +82,7 @@ Proposal decode_proposal(util::ByteReader& r) {
   p.atomicity = static_cast<Atomicity>(atom_raw);
   p.hdo = r.var_u64();
   p.send_ts = r.var_i64();
+  p.fifo_floor = static_cast<ProposalSeq>(r.var_u64());
   p.payload = r.bytes();
   r.expect_done();
   return p;

@@ -57,6 +57,12 @@ struct Proposal {
   Ordinal hdo = 0;
   /// Proposer's synchronized-clock send timestamp (drives time ordering).
   sim::ClockTime send_ts = 0;
+  /// Lowest sequence the proposer's CURRENT incarnation will ever use (the
+  /// durable reservation base after a restart, the counter's seed value
+  /// otherwise). Nothing unordered from this incarnation exists below it,
+  /// so deciders may advance their FIFO cursor across the gap instead of
+  /// waiting for sequences that can never arrive fresh.
+  ProposalSeq fifo_floor = 0;
   std::vector<std::byte> payload;
 };
 

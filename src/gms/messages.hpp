@@ -85,6 +85,21 @@ struct StateTransfer {
   static StateTransfer decode(util::ByteReader& r);
 };
 
+/// Broadcast-free rehabilitation solicitation: a crash-recovered process
+/// that is STILL listed in the current view (the group never detected the
+/// crash, so the join protocol will never re-integrate it) unicasts this to
+/// a member to request a fresh state transfer. The durable `gid` is the
+/// requester's stable-storage view floor; a donor whose group is older
+/// would be serving stale state and is skipped by the requester.
+struct RejoinRequest {
+  sim::ClockTime send_ts = 0;
+  std::uint64_t incarnation = 0;  ///< requester's durable incarnation
+  GroupId gid = 0;                ///< last view installed before the crash
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static RejoinRequest decode(util::ByteReader& r);
+};
+
 void encode_pid_list(util::ByteWriter& w,
                      const std::vector<bcast::ProposalId>& pids);
 std::vector<bcast::ProposalId> decode_pid_list(util::ByteReader& r);

@@ -86,8 +86,19 @@ SimHarness::SimHarness(HarnessConfig cfg)
       }
       lineage_[p] = std::move(fresh);
     };
+    store::StableStore* st = nullptr;
+    if (cfg_.durable_store) {
+      mem_.push_back(std::make_unique<store::MemStorage>());
+      stores_.push_back(std::make_unique<store::StableStore>(
+          *mem_.back(), "p" + std::to_string(p)));
+      st = stores_.back().get();
+      // A crash loses the storage's unsynced write-back tail, exactly like
+      // power loss under a real page cache.
+      store::MemStorage* mem = mem_.back().get();
+      cluster_.processes().set_crash_hook(p, [mem] { mem->crash(); });
+    }
     nodes_.push_back(std::make_unique<TimewheelNode>(cluster_.endpoint(p),
-                                                     cfg_.node, app));
+                                                     cfg_.node, app, st));
     cluster_.bind(p, *nodes_.back());
   }
 }

@@ -10,6 +10,8 @@
 
 #include "gms/timewheel_node.hpp"
 #include "net/sim_transport.hpp"
+#include "store/stable_store.hpp"
+#include "store/storage.hpp"
 
 namespace tw::gms {
 
@@ -23,6 +25,11 @@ struct HarnessConfig {
   sim::ClockTime max_clock_offset = sim::msec(500);
   /// Use the perfect clock-sync mode (requires max_clock_offset == 0).
   bool perfect_clocks = false;
+  /// Give every node a StableStore over an in-memory write-back storage
+  /// whose unsynced tail is rolled back on crash (power-loss semantics).
+  /// Stores survive crash/recover cycles, so a recovered node replays its
+  /// durable kernel exactly like a real process reopening its disk.
+  bool durable_store = true;
 };
 
 struct DeliveryRecord {
@@ -63,6 +70,11 @@ class SimHarness {
   net::SimCluster& cluster() { return cluster_; }
   TimewheelNode& node(ProcessId p) { return *nodes_.at(p); }
   sim::FaultScript& faults() { return cluster_.faults(); }
+  /// p's in-memory storage backend (for fault injection / inspection).
+  /// Only valid when cfg.durable_store is on.
+  store::MemStorage& mem_storage(ProcessId p) { return *mem_.at(p); }
+  store::StableStore& stable_store(ProcessId p) { return *stores_.at(p); }
+  [[nodiscard]] bool durable() const { return cfg_.durable_store; }
   [[nodiscard]] sim::SimTime now() const { return cluster_.now(); }
   [[nodiscard]] const HarnessConfig& config() const { return cfg_; }
 
@@ -147,6 +159,10 @@ class SimHarness {
  private:
   HarnessConfig cfg_;
   net::SimCluster cluster_;
+  // Stores are owned here, NOT by the nodes: they model the disk, which
+  // survives the process crash/recover cycle.
+  std::vector<std::unique_ptr<store::MemStorage>> mem_;
+  std::vector<std::unique_ptr<store::StableStore>> stores_;
   std::vector<std::unique_ptr<TimewheelNode>> nodes_;
   std::vector<std::vector<DeliveryRecord>> delivered_;
   std::vector<std::vector<ViewRecord>> views_;

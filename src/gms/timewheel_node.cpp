@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "gms/repair.hpp"
+#include "store/stable_store.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -12,10 +13,11 @@ namespace tw::gms {
 using sim::TraceKind;
 
 TimewheelNode::TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg,
-                             AppCallbacks app)
+                             AppCallbacks app, store::StableStore* store)
     : ep_(endpoint),
       cfg_(cfg),
       app_(std::move(app)),
+      store_(store),
       n_(endpoint.team_size()),
       slots_(n_, cfg_.slot_len()),
       clock_(endpoint, (cfg_.propagate_clock_params(), cfg_.clock),
@@ -53,6 +55,11 @@ TimewheelNode::TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg,
             out[prefix + "retransmit_requests_sent"] =
                 stats_.retransmit_requests_sent;
             out[prefix + "exclusions"] = stats_.exclusions;
+            out[prefix + "rejoin_requests_sent"] =
+                stats_.rejoin_requests_sent;
+            out[prefix + "rehabilitations"] = stats_.rehabilitations;
+            if (store_)
+              out[prefix + "store_sync_failures"] = store_->sync_failures();
           });
     }
   }
@@ -113,23 +120,39 @@ void TimewheelNode::full_reset() {
   n_failure_since_ = -1;
   retransmit_hint_ = kNoProcess;
 
+  last_rejoin_ts_ = -1;
+  rejoin_target_ = kNoProcess;
+
   stats_ = NodeStats{};
   fd_.reset();
   delivery_.reset();
-  // Proposal ids must never repeat across incarnations: restart the
-  // sequence from the hardware clock's microsecond reading (the clock keeps
-  // running through a process crash, and no incarnation proposes at a
-  // sustained rate above one per microsecond).
+  // Proposal ids must never repeat across incarnations. Without stable
+  // storage the best available approximation restarts the sequence from
+  // the hardware clock's microsecond reading (the clock keeps running
+  // through a process crash, and no incarnation proposes at a sustained
+  // rate above one per microsecond) — but a clock step fault can defeat
+  // it. With a store, on_start overrides this with the durable
+  // reservation watermark, which no clock fault can roll back.
   next_seq_ = static_cast<ProposalSeq>(
       std::max<sim::ClockTime>(0, ep_.hw_now()));
+  seq_floor_ = next_seq_;
 }
 
 void TimewheelNode::on_start() {
+  // Re-open stable storage first: the durable incarnation counter also
+  // detects the recovery case where the crash took the whole OS process
+  // with it (kill -9 on the UDP transport) and this node OBJECT is fresh.
+  store::StoreOpenStats sstats;
+  bool durable_recovery = false;
+  if (store_) {
+    sstats = store_->open();
+    durable_recovery = store_->kernel().incarnation > 0;
+  }
+  const bool recovery = ever_started_ || durable_recovery;
   // Proposals queued before the first start are kept; after a crash
   // recovery they are volatile state and correctly lost.
-  auto kept = ever_started_ ? decltype(pending_proposals_){}
-                            : std::move(pending_proposals_);
-  const bool recovery = ever_started_;
+  auto kept = recovery ? decltype(pending_proposals_){}
+                       : std::move(pending_proposals_);
   ever_started_ = true;
   full_reset();
   // A recovered incarnation keeps its durable application state but lost
@@ -137,10 +160,40 @@ void TimewheelNode::on_start() {
   // transfer re-baselines both (install_view/deliver_to_app check this).
   recovered_dirty_ = recovery;
   pending_proposals_ = std::move(kept);
+  if (store_) {
+    incarnation_ = store_->begin_incarnation();
+    const store::RecoveryKernel& k = store_->kernel();
+    durable_gid_floor_ = k.gid;
+    // Satellite of the continuity rule: the durable reservation watermark
+    // replaces the clock heuristic — every id strictly below it may have
+    // been used by an earlier incarnation, no matter what the clock says.
+    next_seq_ = k.reserved_seq;
+    seq_floor_ = next_seq_;
+    if (recovery) {
+      // Re-arm the engine with the durable delivery watermarks so even the
+      // no-donor fallback paths (election win, state-request give-up)
+      // cannot re-deliver an update the pre-crash incarnation already
+      // handed to the application.
+      bcast::DeliveryEngine::TransferMarks marks;
+      marks.delivered_below = k.delivered_below;
+      marks.forgotten_below.assign(k.delivered_seq.begin(),
+                                   k.delivered_seq.end());
+      delivery_.import_transfer_marks(marks);
+    }
+  }
   clock_.start();
   ep_.trace(TraceKind::node_started);
+  // node_start precedes store_open in the trace: the timeline stitcher
+  // opens a recovery episode at node_start and attributes the replay
+  // stats of the store_open that follows to it.
   if (auto* rec = ep_.obs())
     rec->emit(obs::EvKind::node_start, recovery ? 1 : 0);
+  if (store_) {
+    if (auto* rec = ep_.obs())
+      rec->emit(obs::EvKind::store_open, recovery ? 1 : 0, sstats.log_records,
+                sstats.skipped_bytes + sstats.truncated_bytes +
+                    sstats.bad_records);
+  }
   arm_slot_timer();
   housekeeping_timer_ = ep_.set_timer_after(
       cfg_.slot_len(), [this] { on_housekeeping(); });
@@ -260,6 +313,17 @@ void TimewheelNode::on_housekeeping() {
       ep_.set_timer_after(cfg_.slot_len(), [this] { on_housekeeping(); });
   const auto now = sync_now();
   if (!now) return;
+  // Compact the durable log once it has grown past a checkpoint's worth of
+  // records — replay time and disk stay bounded without an fsync per event.
+  if (store_ && store_->log_records_since_checkpoint() > 128)
+    store_->checkpoint();
+  // Crash-recovery rehabilitation (§4.2): a recovered-dirty process the
+  // group never excluded is a zombie — still a member, so nobody sends it
+  // the state transfer that joiners get, and its own join traffic keeps the
+  // others' failure detectors satisfied. Break the deadlock by actively
+  // soliciting a state transfer from a clean member.
+  if (recovered_dirty_ && !awaiting_state_ && state_ == GcState::join)
+    solicit_rejoin(*now);
   // Proposer-driven loss recovery: re-broadcast own proposals that no
   // decision has ordered after a full D — a decider that missed the first
   // transmission would otherwise hold back this proposer's later FIFO
@@ -362,6 +426,9 @@ void TimewheelNode::on_datagram(ProcessId from,
         break;
       case net::MsgKind::state_request:
         handle_state_request(from);
+        break;
+      case net::MsgKind::rejoin_request:
+        handle_rejoin_request(from, RejoinRequest::decode(r));
         break;
       case net::MsgKind::retransmit_request:
         handle_retransmit_request(from, bcast::RetransmitRequest::decode(r));
@@ -552,14 +619,18 @@ void TimewheelNode::handle_decision(ProcessId from, bcast::Decision d) {
 
   // Zombie guard: a process that crashed and recovered BEFORE the group
   // detected the crash is still listed as a member, but its replica state
-  // is gone. In join state we therefore accept membership only when this
-  // decision integrates us (state transfer coming), or when the group was
-  // genuinely formed by the join protocol we participated in (every member
-  // sent join messages within the last cycles). Otherwise we stay in the
-  // join state, silent, until the group removes us and re-integrates us
-  // with a state transfer.
-  if (state_ == GcState::join && d.group.contains(self()) &&
-      !d.joiners.contains(self())) {
+  // is gone (it is recovered-dirty). In join state we therefore accept
+  // membership only when this decision integrates us (state transfer
+  // coming), or when the group was genuinely formed by the join protocol
+  // we participated in (every member sent join messages within the last
+  // cycles). Otherwise we stay in the join state and actively solicit a
+  // state transfer from a clean member (solicit_rejoin) — the join
+  // protocol itself never re-integrates a process the group never
+  // excluded. Once rehabilitated the guard no longer applies and the next
+  // decision admits us normally; a non-dirty join-state process (e.g.
+  // after a desync) kept its replica state and needs no re-baselining.
+  if (state_ == GcState::join && recovered_dirty_ &&
+      d.group.contains(self()) && !d.joiners.contains(self())) {
     bool fresh_formation = false;
     for (const auto& e : d.oal.entries()) {
       if (e.kind == bcast::OalEntry::Kind::membership && e.gid == d.gid &&
@@ -872,6 +943,46 @@ void TimewheelNode::handle_state_request(ProcessId from) {
   send_state_transfer(from, *now);
 }
 
+void TimewheelNode::solicit_rejoin(sim::ClockTime now) {
+  // At most one solicitation per cycle; rotate the target so a donor that
+  // is itself dirty (or whose reply was lost) does not starve us.
+  if (last_rejoin_ts_ >= 0 && now - last_rejoin_ts_ < slots_.cycle_len())
+    return;
+  // Solicit only once the zombie guard has adopted the group's knowledge —
+  // before that we do not know who the members are, and the normal join
+  // integration path covers us anyway.
+  if (!installed_ || !group_.contains(self()) || group_.size() < 2) return;
+  rejoin_target_ = group_.successor_of(
+      rejoin_target_ == kNoProcess ? self() : rejoin_target_);
+  if (rejoin_target_ == self())
+    rejoin_target_ = group_.successor_of(rejoin_target_);
+  last_rejoin_ts_ = now;
+  ++stats_.rejoin_requests_sent;
+  if (auto* rec = ep_.obs())
+    rec->emit(obs::EvKind::rejoin_request, 0, rejoin_target_);
+  TW_DEBUG("p" << self() << " solicits rejoin state from p"
+               << rejoin_target_);
+  RejoinRequest rq;
+  rq.send_ts = now;
+  rq.incarnation = incarnation_;
+  rq.gid = durable_gid_floor_;
+  ep_.send(rejoin_target_, rq.encode());
+}
+
+void TimewheelNode::handle_rejoin_request(ProcessId from, RejoinRequest rq) {
+  const auto now = sync_now();
+  if (!now) return;
+  // Staleness check only — accept_control() would also record the sender
+  // in the failure detector, and a zombie's solicitation must not refresh
+  // its standing as a live member.
+  if (*now - rq.send_ts > cfg_.staleness_bound(n_)) return;
+  // Same donor-fitness rule as handle_state_request.
+  if (!in_group() || recovered_dirty_ || awaiting_state_) return;
+  TW_DEBUG("p" << self() << " answers rejoin solicitation from p" << from
+               << " (incarnation " << rq.incarnation << ")");
+  send_state_transfer(from, *now);
+}
+
 // ---------------------------------------------------------------------------
 // Proposals
 // ---------------------------------------------------------------------------
@@ -879,10 +990,15 @@ void TimewheelNode::handle_state_request(ProcessId from) {
 ProposalSeq TimewheelNode::propose(std::vector<std::byte> payload,
                                    bcast::Order order,
                                    bcast::Atomicity atomicity) {
+  // Durable continuity: make sure the reservation watermark covers this id
+  // BEFORE the proposal exists anywhere (chunked, so only every 64th
+  // proposal pays a log append).
+  if (store_) store_->reserve_proposal_seq(next_seq_);
   bcast::Proposal p;
   p.id = bcast::ProposalId{self(), next_seq_++};
   p.order = order;
   p.atomicity = atomicity;
+  p.fifo_floor = seq_floor_;
   p.payload = std::move(payload);
 
   const auto now = sync_now();
@@ -1173,6 +1289,10 @@ void TimewheelNode::create_group(util::ProcessSet members,
   // so no state transfer is coming and holding deliveries would wedge us.
   if (recovered_dirty_) {
     recovered_dirty_ = false;
+    ++stats_.rehabilitations;
+    if (auto* rec = ep_.obs())
+      rec->emit(obs::EvKind::rehabilitated, 1, 0,
+                buffered_deliveries_.size());
     flush_buffered_deliveries();
   }
 
@@ -1498,6 +1618,16 @@ void TimewheelNode::handle_state_transfer(ProcessId from, StateTransfer st) {
   const auto now_opt = sync_now();
   if (!now_opt) return;
   const sim::ClockTime now = *now_opt;
+  // Stale-donor validation: the durable kernel remembers the last view
+  // this process installed before crashing. A transfer from an older group
+  // (a partitioned straggler, a delayed datagram from before the crash)
+  // would re-baseline us onto state the group has since superseded.
+  if (recovered_dirty_ && store_ && st.gid < durable_gid_floor_) {
+    TW_WARN("p" << self() << ": ignoring stale state transfer (gid "
+                << st.gid << " < durable floor " << durable_gid_floor_
+                << ")");
+    return;
+  }
   ++stats_.state_transfers_received;
   TW_DEBUG("p" << self() << " state transfer: " << st.proposals.size()
                << " proposals, " << st.marks.ordered_below.size()
@@ -1527,10 +1657,26 @@ void TimewheelNode::handle_state_transfer(ProcessId from, StateTransfer st) {
   for (const auto& p : st.proposals) delivery_.note_proposal(p, now);
   delivery_.adopt_oal(st.oal);
   if (awaiting_state_ || recovered_dirty_) {
+    const bool was_dirty = recovered_dirty_;
+    const auto flushed = buffered_deliveries_.size();
     awaiting_state_ = false;
     recovered_dirty_ = false;  // app state and engine marks re-baselined
     cancel_timer(state_wait_timer_);
     flush_buffered_deliveries();
+    if (was_dirty) {
+      ++stats_.rehabilitations;
+      if (auto* rec = ep_.obs())
+        rec->emit(obs::EvKind::rehabilitated, 0, st.gid, flushed);
+      TW_INFO("p" << self() << " rehabilitated into gid " << st.gid
+                  << " (flushed " << flushed << " buffered deliveries)");
+    }
+    // The re-baselined state is the new durable floor: record it, then
+    // fold the replayed log into a snapshot so recovery from a second
+    // crash starts from here.
+    if (store_) {
+      store_->note_view(st.gid, group_.bits());
+      store_->checkpoint();
+    }
   }
   run_delivery(now);
 }
@@ -1542,6 +1688,9 @@ void TimewheelNode::install_view(GroupId gid, util::ProcessSet members,
   gid_ = gid;
   group_ = members;
   installed_ = true;
+  // Persist the installed view before announcing it: after a crash the
+  // kernel's gid is the floor below which state transfers are stale.
+  if (store_ && !recovered_dirty_) store_->note_view(gid, members.bits());
   ++stats_.views_installed;
   ep_.trace(TraceKind::view_installed, gid, 0, members);
   if (auto* rec = ep_.obs())
@@ -1571,7 +1720,13 @@ void TimewheelNode::retry_state_request() {
     TW_WARN("p" << self() << ": state transfer still missing after "
                 << state_request_retries_ << " requests; giving up");
     awaiting_state_ = false;
-    recovered_dirty_ = false;
+    if (recovered_dirty_) {
+      recovered_dirty_ = false;
+      ++stats_.rehabilitations;
+      if (auto* rec = ep_.obs())
+        rec->emit(obs::EvKind::rehabilitated, 2, gid_,
+                  buffered_deliveries_.size());
+    }
     flush_buffered_deliveries();
     return;
   }
@@ -1603,12 +1758,22 @@ void TimewheelNode::deliver_to_app(const bcast::Proposal& p,
     buffered_deliveries_.emplace_back(p, ordinal);
     return;
   }
+  hand_to_app(p, ordinal);
+}
+
+void TimewheelNode::hand_to_app(const bcast::Proposal& p, Ordinal ordinal) {
   if (app_.deliver) app_.deliver(p, ordinal);
+  // Advance the durable delivery watermarks AFTER the application has the
+  // message: losing the record re-delivers (at-least-once across crashes),
+  // which the max-merge import on recovery tolerates; recording before
+  // delivering could silently drop it.
+  if (store_)
+    store_->note_delivery(p.id.proposer, p.id.seq,
+                          ordinal == kNoOrdinal ? 0 : ordinal + 1);
 }
 
 void TimewheelNode::flush_buffered_deliveries() {
-  for (auto& [p, o] : buffered_deliveries_)
-    if (app_.deliver) app_.deliver(p, o);
+  for (auto& [p, o] : buffered_deliveries_) hand_to_app(p, o);
   buffered_deliveries_.clear();
 }
 

@@ -23,6 +23,10 @@
 #include "gms/state.hpp"
 #include "net/transport.hpp"
 
+namespace tw::store {
+class StableStore;
+}
+
 namespace tw::gms {
 
 /// Application-facing callbacks. All optional.
@@ -55,11 +59,20 @@ struct NodeStats {
   std::uint64_t state_transfers_received = 0;
   std::uint64_t retransmit_requests_sent = 0;
   std::uint64_t exclusions = 0;             ///< times we were voted out
+  std::uint64_t rejoin_requests_sent = 0;   ///< zombie-rehab solicitations
+  std::uint64_t rehabilitations = 0;        ///< recoveries re-baselined
 };
 
 class TimewheelNode final : public net::Handler {
  public:
-  TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg, AppCallbacks app);
+  /// `store` (optional) is this process's stable storage: it must outlive
+  /// the node and SURVIVE crash/recover cycles — on every on_start the node
+  /// re-opens it, bumps the durable incarnation, restarts the proposal
+  /// sequence above the durable reservation and imports the durable
+  /// delivery watermarks. Without a store the node falls back to the
+  /// clock-based proposal-id heuristic and volatile-only recovery.
+  TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg, AppCallbacks app,
+                store::StableStore* store = nullptr);
   ~TimewheelNode() override;
   TimewheelNode(const TimewheelNode&) = delete;
   TimewheelNode& operator=(const TimewheelNode&) = delete;
@@ -99,6 +112,17 @@ class TimewheelNode final : public net::Handler {
   [[nodiscard]] const FailureDetector& failure_detector() const { return fd_; }
   [[nodiscard]] const NodeConfig& config() const { return cfg_; }
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  /// True from a crash recovery until a state transfer (or an election we
+  /// won) re-baselined application state and delivery marks. A converged
+  /// run must end with this false on every member — the torture oracle's
+  /// rehabilitation-liveness invariant.
+  [[nodiscard]] bool recovered_dirty() const { return recovered_dirty_; }
+  [[nodiscard]] bool awaiting_state() const { return awaiting_state_; }
+  [[nodiscard]] std::size_t buffered_delivery_count() const {
+    return buffered_deliveries_.size();
+  }
+  /// Durable incarnation number (0 when running without a store).
+  [[nodiscard]] std::uint64_t incarnation() const { return incarnation_; }
 
  private:
   // --- clock helpers ----------------------------------------------------
@@ -124,6 +148,10 @@ class TimewheelNode final : public net::Handler {
   void handle_reconfiguration(ProcessId from, Reconfiguration r);
   void handle_state_transfer(ProcessId from, StateTransfer st);
   void handle_state_request(ProcessId from);
+  void handle_rejoin_request(ProcessId from, RejoinRequest rq);
+  /// Zombie rehabilitation: ask a (rotating) member for a state transfer
+  /// while we are recovered-dirty but still listed in the current view.
+  void solicit_rejoin(sim::ClockTime now);
   void send_state_transfer(ProcessId to, sim::ClockTime send_ts);
   void handle_retransmit_request(ProcessId from, bcast::RetransmitRequest rq);
 
@@ -188,6 +216,8 @@ class TimewheelNode final : public net::Handler {
   void handle_exclusion(const bcast::Decision& d, ProcessId from,
                         sim::ClockTime now);
   void deliver_to_app(const bcast::Proposal& p, Ordinal ordinal);
+  /// Hand a delivery to the application and persist the watermark.
+  void hand_to_app(const bcast::Proposal& p, Ordinal ordinal);
   void retry_state_request();
   void flush_buffered_deliveries();
   void run_delivery(sim::ClockTime now);
@@ -200,6 +230,9 @@ class TimewheelNode final : public net::Handler {
   net::Endpoint& ep_;
   NodeConfig cfg_;
   AppCallbacks app_;
+  /// Stable storage (nullable). Owned by the harness / embedding process
+  /// so it survives crash/recover cycles of this node.
+  store::StableStore* store_ = nullptr;
   int n_;  ///< team size N
   SlotMap slots_;
 
@@ -229,6 +262,9 @@ class TimewheelNode final : public net::Handler {
 
   // Own proposals.
   ProposalSeq next_seq_ = 0;
+  /// This incarnation's sequence start — stamped into every proposal as
+  /// its fifo_floor so deciders never wait on the pre-restart gap.
+  ProposalSeq seq_floor_ = 0;
   std::deque<bcast::Proposal> pending_proposals_;  ///< queued until member
 
   // Last control message we broadcast (for wrong-suspicion resends).
@@ -278,6 +314,15 @@ class TimewheelNode final : public net::Handler {
   std::vector<std::pair<bcast::Proposal, Ordinal>> buffered_deliveries_;
   net::TimerId state_wait_timer_ = net::kNoTimer;
   int state_request_retries_ = 0;
+
+  // Crash-recovery rehabilitation (stable store present).
+  std::uint64_t incarnation_ = 0;
+  /// Durable view floor from the stable store: a state transfer whose gid
+  /// is below it would re-baseline us with state older than what our
+  /// durable application state already reflects — refuse such donors.
+  GroupId durable_gid_floor_ = 0;
+  sim::ClockTime last_rejoin_ts_ = -1;
+  ProcessId rejoin_target_ = kNoProcess;
 
   // Watchdog for the join fallback (see NodeConfig::join_fallback_cycles).
   sim::ClockTime n_failure_since_ = -1;

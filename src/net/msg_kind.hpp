@@ -25,6 +25,7 @@ enum class MsgKind : std::uint8_t {
   reconfiguration = 18,
   state_transfer = 19,
   state_request = 20,
+  rejoin_request = 21,
 
   // Baseline membership protocols (tw::baseline).
   heartbeat = 32,
@@ -50,6 +51,7 @@ enum class MsgKind : std::uint8_t {
     case MsgKind::reconfiguration: return "reconfiguration";
     case MsgKind::state_transfer: return "state_transfer";
     case MsgKind::state_request: return "state_request";
+    case MsgKind::rejoin_request: return "rejoin_request";
     case MsgKind::heartbeat: return "heartbeat";
     case MsgKind::view_proposal: return "view_proposal";
     case MsgKind::view_ack: return "view_ack";

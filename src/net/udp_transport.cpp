@@ -198,9 +198,12 @@ void UdpEndpoint::on_readable() {
 UdpCluster::UdpCluster(const UdpClusterConfig& cfg)
     : cfg_(cfg), crashed_(static_cast<std::size_t>(cfg.n)) {
   TW_ASSERT(cfg.n > 0 && cfg.n <= 64);
+  TW_ASSERT(cfg.only < cfg.n);
   for (auto& c : crashed_) c.store(false);
-  for (ProcessId p = 0; p < static_cast<ProcessId>(cfg.n); ++p)
+  for (ProcessId p = 0; p < static_cast<ProcessId>(cfg.n); ++p) {
+    if (cfg.only >= 0 && p != static_cast<ProcessId>(cfg.only)) continue;
     endpoints_.push_back(std::make_unique<UdpEndpoint>(*this, p));
+  }
 }
 
 UdpCluster::~UdpCluster() { stop(); }
@@ -216,19 +219,25 @@ std::vector<obs::Event> UdpCluster::merged_trace() const {
   return obs::merge_timeline(std::move(all));
 }
 
+UdpEndpoint& UdpCluster::local(ProcessId p) const {
+  for (const auto& ep : endpoints_)
+    if (ep->id_ == p) return *ep;
+  TW_ASSERT_MSG(false, "member " << p << " is not hosted by this process");
+  return *endpoints_.front();  // unreachable
+}
+
 void UdpCluster::bind(ProcessId p, Handler& handler) {
-  endpoints_.at(p)->handler_ = &handler;
+  local(p).handler_ = &handler;
 }
 
 void UdpCluster::start() {
   TW_ASSERT(!running_.load());
   running_.store(true);
-  for (ProcessId p = 0; p < static_cast<ProcessId>(cfg_.n); ++p) {
-    threads_.emplace_back([this, p] {
-      auto& ep = *endpoints_[p];
-      if (ep.handler_ != nullptr) ep.handler_->on_start();
+  for (const auto& ep_ptr : endpoints_) {
+    threads_.emplace_back([this, ep = ep_ptr.get()] {
+      if (ep->handler_ != nullptr) ep->handler_->on_start();
       while (running_.load(std::memory_order_relaxed))
-        ep.loop_.poll_once(sim::msec(50));
+        ep->loop_.poll_once(sim::msec(50));
     });
   }
 }
@@ -241,7 +250,7 @@ void UdpCluster::stop() {
 }
 
 void UdpCluster::post(ProcessId p, std::function<void()> fn) {
-  endpoints_.at(p)->loop_.post(std::move(fn));
+  local(p).loop_.post(std::move(fn));
 }
 
 void UdpCluster::crash(ProcessId p) {
@@ -250,7 +259,7 @@ void UdpCluster::crash(ProcessId p) {
 
 void UdpCluster::recover(ProcessId p) {
   crashed_.at(p).store(false, std::memory_order_relaxed);
-  auto& ep = *endpoints_.at(p);
+  auto& ep = local(p);
   if (ep.handler_ != nullptr)
     ep.loop_.post([&ep] { ep.handler_->on_start(); });
 }

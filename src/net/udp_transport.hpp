@@ -31,6 +31,11 @@ struct UdpClusterConfig {
   /// paths over loopback (loopback itself never drops).
   double drop_prob = 0.0;
   std::uint64_t drop_seed = 42;
+  /// When >= 0, this OS process hosts ONLY that member: one socket, one
+  /// loop thread. The other n-1 members are expected to be other OS
+  /// processes on the same port plan — which is what makes a REAL kill -9
+  /// / restart of a single member possible (see examples/udp_cluster).
+  int only = -1;
 };
 
 class UdpCluster;
@@ -109,10 +114,10 @@ class UdpCluster {
   /// Merge every member's trace ring into one synchronized-time timeline.
   [[nodiscard]] std::vector<obs::Event> merged_trace() const;
 
-  Endpoint& endpoint(ProcessId p) { return *endpoints_.at(p); }
+  Endpoint& endpoint(ProcessId p) { return local(p); }
   /// Per-member CRC rejection count (see UdpEndpoint::crc_dropped).
   [[nodiscard]] std::uint64_t crc_dropped(ProcessId p) const {
-    return endpoints_.at(p)->crc_dropped();
+    return local(p).crc_dropped();
   }
   void bind(ProcessId p, Handler& handler);
 
@@ -132,6 +137,10 @@ class UdpCluster {
 
  private:
   friend class UdpEndpoint;
+
+  /// Locally hosted endpoint for member p — with `only` set, endpoints_
+  /// holds a single entry whose id need not equal its index.
+  [[nodiscard]] UdpEndpoint& local(ProcessId p) const;
 
   UdpClusterConfig cfg_;
   obs::Registry registry_;  // must outlive endpoints_

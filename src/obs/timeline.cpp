@@ -29,6 +29,13 @@ TimelineReport analyze_timeline(const std::vector<Event>& merged) {
   TimelineReport report;
   std::int64_t last_trigger = -1;
   std::map<std::uint64_t, std::size_t> view_index;  // gid -> report.views idx
+  // Recovery-episode raw material, grouped per process. Episodes are
+  // stitched in HARDWARE-clock order, not merged sync order: every
+  // milestone of an episode comes from the same process, whose hw clock
+  // is monotonic, while the sync correction jumps across a crash (the
+  // fresh incarnation restarts unsynchronized) and can reorder the
+  // milestones in the merged timeline.
+  std::map<std::uint32_t, std::vector<const Event*>> recovery_events;
   for (const Event& e : merged) {
     ++report.events_by_process[e.p];
     switch (e.kind) {
@@ -48,7 +55,14 @@ TimelineReport analyze_timeline(const std::vector<Event>& merged) {
       case EvKind::fsm_transition:
         if (is_degraded_state(e.a)) last_trigger = e.t_sync();
         break;
+      case EvKind::node_start:
+      case EvKind::store_open:
+      case EvKind::rejoin_request:
+      case EvKind::rehabilitated:
+        recovery_events[e.p].push_back(&e);
+        break;
       case EvKind::view_install: {
+        recovery_events[e.p].push_back(&e);
         const auto it = view_index.find(e.a);
         if (it == view_index.end()) {
           ViewStat v;
@@ -71,6 +85,58 @@ TimelineReport analyze_timeline(const std::vector<Event>& merged) {
         break;
     }
   }
+  for (auto& [p, evs] : recovery_events) {
+    std::stable_sort(
+        evs.begin(), evs.end(),
+        [](const Event* x, const Event* y) { return x->t < y->t; });
+    RecoveryStat* open = nullptr;
+    for (const Event* e : evs) {
+      switch (e->kind) {
+        case EvKind::node_start:
+          open = nullptr;
+          if (e->arg != 0) {  // a recovery start opens a fresh episode
+            RecoveryStat r;
+            r.p = p;
+            r.start = e->t;
+            report.recoveries.push_back(r);
+            open = &report.recoveries.back();
+          }
+          break;
+        case EvKind::store_open:
+          if (open != nullptr && open->store_open < 0) {
+            open->store_open = e->t;
+            open->log_records = e->a;
+            open->bytes_lost = e->b;
+          }
+          break;
+        case EvKind::rejoin_request:
+          if (open != nullptr) ++open->rejoin_requests;
+          break;
+        case EvKind::rehabilitated:
+          if (open != nullptr) {
+            open->rehabilitated = e->t;
+            open->gid = e->a;
+            open->flushed = e->b;
+          }
+          break;
+        case EvKind::view_install:
+          if (open != nullptr && open->rehabilitated >= 0) {
+            // First install after re-baselining: the process is a full
+            // replica of this view — the episode is over.
+            open->readmit_view = e->t;
+            open->gid = e->a;
+            open = nullptr;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  std::stable_sort(report.recoveries.begin(), report.recoveries.end(),
+                   [](const RecoveryStat& x, const RecoveryStat& y) {
+                     return x.start < y.start;
+                   });
   return report;
 }
 
@@ -116,6 +182,19 @@ std::string format_event(const Event& e) {
     case EvKind::suspect:
       os << " suspect=" << e.a;
       break;
+    case EvKind::node_start:
+      os << (e.arg != 0 ? " recovery" : " fresh");
+      break;
+    case EvKind::store_open:
+      os << (e.arg != 0 ? " recovery" : " fresh") << " log_records=" << e.a
+         << " bytes_lost=" << e.b;
+      break;
+    case EvKind::rejoin_request:
+      os << " target=" << e.a;
+      break;
+    case EvKind::rehabilitated:
+      os << " gid=" << e.a << " flushed=" << e.b;
+      break;
     default:
       if (e.a != 0 || e.b != 0) os << " a=" << e.a << " b=" << e.b;
       break;
@@ -145,6 +224,29 @@ std::string TimelineReport::to_string() const {
     if (v.latency_us >= 0)
       os << " latency=" << v.latency_us << "us (from last suspicion)";
     os << '\n';
+  }
+  if (!recoveries.empty()) {
+    os << "== recoveries ==\n";
+    for (const RecoveryStat& r : recoveries) {
+      os << "  p" << r.p << " start=" << r.start << "us";
+      if (r.store_open >= 0) {
+        os << "  replay +" << (r.store_open - r.start) << "us ("
+           << r.log_records << " records";
+        if (r.bytes_lost > 0) os << ", " << r.bytes_lost << "B lost";
+        os << ')';
+      }
+      if (r.rejoin_requests > 0)
+        os << "  rejoin_requests=" << r.rejoin_requests;
+      if (r.rehabilitated >= 0) {
+        os << "  rehabilitated +" << (r.rehabilitated - r.start) << "us";
+        if (r.flushed > 0) os << " (flushed " << r.flushed << ')';
+      }
+      if (r.readmit_view >= 0)
+        os << "  readmitted gid=" << r.gid << " +"
+           << (r.readmit_view - r.start) << "us";
+      if (r.total_us() < 0) os << "  [incomplete]";
+      os << '\n';
+    }
   }
   os << "== events per process ==\n";
   for (const auto& [p, n] : events_by_process)

@@ -39,6 +39,34 @@ struct ViewStat {
   }
 };
 
+/// One crash-recovery episode of one process, stitched together from its
+/// node_start(recovery) / store_open / rejoin_request / rehabilitated
+/// records and the first view it installs once re-baselined. Times are
+/// the process's own HARDWARE clock: all milestones share that clock, so
+/// intervals are exact, whereas the sync correction jumps across a crash
+/// (the new incarnation restarts unsynchronized) and would corrupt them.
+/// -1 means the milestone never appears in the trace (e.g. the run ended
+/// mid-recovery, or the process runs storeless).
+struct RecoveryStat {
+  std::uint32_t p = 0;
+  std::int64_t start = 0;           ///< node_start with the recovery flag
+  std::int64_t store_open = -1;     ///< durable kernel replay finished
+  std::uint64_t log_records = 0;    ///< log records replayed at open
+  std::uint64_t bytes_lost = 0;     ///< bytes lost to corruption at open
+  int rejoin_requests = 0;          ///< zombie solicitations sent
+  std::int64_t rehabilitated = -1;  ///< a state transfer re-baselined us
+  std::uint64_t flushed = 0;        ///< deliveries buffered while dirty
+  std::int64_t readmit_view = -1;   ///< first view installed after rehab
+  std::uint64_t gid = 0;            ///< that view's group id
+
+  /// Crash-to-readmission latency; falls back to the rehabilitation
+  /// point when the run ends before the next view install.
+  [[nodiscard]] std::int64_t total_us() const {
+    const std::int64_t end = readmit_view >= 0 ? readmit_view : rehabilitated;
+    return end >= 0 ? end - start : -1;
+  }
+};
+
 struct TimelineReport {
   /// dgram_send count per message-kind byte (the wire tag).
   std::map<std::uint8_t, std::uint64_t> sent_by_kind;
@@ -47,6 +75,7 @@ struct TimelineReport {
   std::uint64_t recv_total = 0;
   std::uint64_t sent_total = 0;
   std::vector<ViewStat> views;  ///< in order of first install
+  std::vector<RecoveryStat> recoveries;  ///< in order of recovery start
   std::map<std::uint32_t, std::uint64_t> events_by_process;
 
   [[nodiscard]] std::string to_string() const;

@@ -53,7 +53,19 @@ enum class EvKind : std::uint8_t {
   fsm_transition = 12,
   view_install = 13,
   suspect = 14,
+  /// arg = 1 when this start is a crash recovery.
   node_start = 15,
+
+  // store / crash recovery: store_open arg = 1 on recovery, a = log
+  // records replayed, b = bytes lost to corruption (skipped + truncated +
+  // undecodable). rejoin_request a = solicited member. rehabilitated
+  // arg = how the episode ended (0 = re-baselined by a state transfer,
+  // 1 = own merged knowledge became the baseline by creating the group,
+  // 2 = gave up waiting for a donor), a = group id (0 when creating),
+  // b = buffered deliveries flushed.
+  store_open = 16,
+  rejoin_request = 17,
+  rehabilitated = 18,
 };
 
 /// Why a datagram was dropped at or before the receive path.

@@ -57,11 +57,16 @@ ClockTime ProcessService::hw_now(ProcessId p) const {
   return procs_.at(p).clock.read(sim_.now());
 }
 
+void ProcessService::set_crash_hook(ProcessId p, std::function<void()> fn) {
+  procs_.at(p).crash_hook = std::move(fn);
+}
+
 void ProcessService::crash(ProcessId p) {
   auto& proc = procs_.at(p);
   if (!proc.up) return;
   proc.up = false;
   ++proc.incarnation;  // invalidates pending reactions
+  if (proc.crash_hook) proc.crash_hook();
 }
 
 void ProcessService::recover(ProcessId p) {

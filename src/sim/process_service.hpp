@@ -55,6 +55,12 @@ class ProcessService {
   [[nodiscard]] const HardwareClock& clock(ProcessId p) const;
   [[nodiscard]] ClockTime hw_now(ProcessId p) const;
 
+  /// Register a hook run synchronously at crash(p) — before any recovery.
+  /// Models what the crash itself destroys (e.g. a stable store's unsynced
+  /// write-back cache). Kept outside Callbacks so install() cannot clobber
+  /// it. Pass nullptr to clear.
+  void set_crash_hook(ProcessId p, std::function<void()> fn);
+
   // --- fault injection -----------------------------------------------
   void crash(ProcessId p);
   void recover(ProcessId p);
@@ -92,6 +98,7 @@ class ProcessService {
   struct Proc {
     HardwareClock clock;
     Callbacks cb;
+    std::function<void()> crash_hook;
     Rng rng{0};
     bool up = true;
     int incarnation = 0;

@@ -1,0 +1,75 @@
+#include "store/record_log.hpp"
+
+#include "util/bytes.hpp"
+#include "util/crc32.hpp"
+
+namespace tw::store {
+
+namespace {
+
+constexpr std::byte kMagic{0xA7};
+constexpr std::size_t kHeader = 1 + 4 + 4;  // magic + len + crc
+
+std::uint32_t le32(const std::byte* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+LogOpenStats RecordLog::open(std::vector<std::vector<std::byte>>& records) {
+  LogOpenStats stats;
+  std::vector<std::byte> data;
+  if (!backend_.read(name_, data)) return stats;
+
+  std::size_t pos = 0;
+  std::size_t good_end = 0;  // end of the last accepted frame
+  while (pos < data.size()) {
+    if (data[pos] == kMagic && pos + kHeader <= data.size()) {
+      const std::uint32_t len = le32(&data[pos + 1]);
+      const std::uint32_t crc = le32(&data[pos + 5]);
+      if (len <= data.size() - pos - kHeader) {
+        const std::span<const std::byte> payload(&data[pos + kHeader], len);
+        if (util::crc32c(payload) == crc) {
+          records.emplace_back(payload.begin(), payload.end());
+          ++stats.records;
+          stats.skipped_bytes += pos - good_end;
+          pos += kHeader + len;
+          good_end = pos;
+          continue;
+        }
+      }
+    }
+    ++pos;  // resynchronize on the next candidate magic byte
+  }
+  // Everything past the last good frame is a torn tail: cut it off so
+  // future appends land on a frame boundary.
+  if (good_end < data.size()) {
+    stats.truncated_bytes = data.size() - good_end;
+    backend_.truncate(name_, good_end);
+    backend_.sync(name_);
+  }
+  return stats;
+}
+
+bool RecordLog::append(std::span<const std::byte> payload) {
+  // One frame = one backend append, so an injected torn write models a
+  // single crashed disk write keeping a prefix of the frame.
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(kMagic));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(util::crc32c(payload));
+  for (const std::byte b : payload) w.u8(static_cast<std::uint8_t>(b));
+  const std::vector<std::byte> frame = std::move(w).take();
+  const bool ok = backend_.append(name_, frame);
+  return backend_.sync(name_) && ok;
+}
+
+bool RecordLog::reset() {
+  const bool ok = backend_.truncate(name_, 0);
+  return backend_.sync(name_) && ok;
+}
+
+}  // namespace tw::store

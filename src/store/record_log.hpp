@@ -1,0 +1,58 @@
+// Append-only CRC32C-framed record log.
+//
+// Frame layout (little-endian):  [u8 magic 0xA7][u32 len][u32 crc32c(payload)]
+// [payload]. Each append is one frame followed by a sync barrier, so a
+// record is either durably whole or repairable garbage.
+//
+// open() is corruption-tolerant by construction: it scans the file byte by
+// byte, accepting a frame only when the magic, the length bound and the
+// CRC all agree. A torn tail (crash mid-append) parses as trailing garbage
+// and is physically truncated away; a bit flip or short write mid-log
+// parses as an unframed gap that the scanner skips, resynchronizing on the
+// next valid frame. A forged frame must present the magic byte AND a
+// matching CRC32C over its claimed payload at the same offset — a ~2^-32
+// accident the kernel layer additionally guards with monotonic merges.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/storage.hpp"
+
+namespace tw::store {
+
+struct LogOpenStats {
+  std::size_t records = 0;          ///< frames recovered
+  std::size_t skipped_bytes = 0;    ///< mid-log garbage scanned over
+  std::size_t truncated_bytes = 0;  ///< torn tail physically removed
+  [[nodiscard]] bool clean() const {
+    return skipped_bytes == 0 && truncated_bytes == 0;
+  }
+};
+
+class RecordLog {
+ public:
+  RecordLog(Storage& backend, std::string name)
+      : backend_(backend), name_(std::move(name)) {}
+
+  /// Scan + repair. Every recovered payload is appended to `records`.
+  LogOpenStats open(std::vector<std::vector<std::byte>>& records);
+
+  /// Frame, append and sync one record. Returns false if the sync barrier
+  /// failed (the record may not survive a crash).
+  bool append(std::span<const std::byte> payload);
+
+  /// Drop all records (after a successful snapshot checkpoint).
+  bool reset();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  Storage& backend_;
+  std::string name_;
+};
+
+}  // namespace tw::store

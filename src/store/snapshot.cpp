@@ -1,0 +1,42 @@
+#include "store/snapshot.hpp"
+
+#include "util/bytes.hpp"
+#include "util/crc32.hpp"
+
+namespace tw::store {
+
+namespace {
+constexpr std::uint32_t kSnapMagic = 0x5457534e;  // "TWSN"
+}
+
+bool save_snapshot(Storage& backend, const std::string& name,
+                   std::span<const std::byte> payload) {
+  util::ByteWriter w;
+  w.u32(kSnapMagic);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(util::crc32c(payload));
+  for (const std::byte b : payload) w.u8(static_cast<std::uint8_t>(b));
+  return backend.write_atomic(name, std::move(w).take());
+}
+
+bool load_snapshot(Storage& backend, const std::string& name,
+                   std::vector<std::byte>& payload) {
+  std::vector<std::byte> data;
+  if (!backend.read(name, data)) return false;
+  if (data.size() < 12) return false;
+  util::ByteReader r(data);
+  try {
+    if (r.u32() != kSnapMagic) return false;
+    const std::uint32_t len = r.u32();
+    const std::uint32_t crc = r.u32();
+    if (len != data.size() - 12) return false;
+    const std::span<const std::byte> body(data.data() + 12, len);
+    if (util::crc32c(body) != crc) return false;
+    payload.assign(body.begin(), body.end());
+  } catch (const util::DecodeError&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tw::store

@@ -1,0 +1,30 @@
+// CRC-guarded atomic snapshot: the checkpoint half of the stable store.
+//
+// A snapshot is the whole serialized recovery kernel written through
+// Storage::write_atomic (write temp, fsync, rename), so the file named
+// `name` always holds either the previous complete snapshot or the new
+// complete snapshot — never a mix. The CRC32C header turns any media
+// corruption into a clean load failure, at which point the caller falls
+// back to replaying the record log alone.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/storage.hpp"
+
+namespace tw::store {
+
+/// Write `payload` as the new snapshot. Returns false (old snapshot
+/// intact) if the backend's atomic replace failed.
+bool save_snapshot(Storage& backend, const std::string& name,
+                   std::span<const std::byte> payload);
+
+/// Load and verify. Returns false if the snapshot is absent, torn or
+/// fails its CRC — the caller must treat it as nonexistent.
+bool load_snapshot(Storage& backend, const std::string& name,
+                   std::vector<std::byte>& payload);
+
+}  // namespace tw::store

@@ -1,0 +1,188 @@
+#include "store/stable_store.hpp"
+
+#include <algorithm>
+
+#include "store/snapshot.hpp"
+#include "util/bytes.hpp"
+
+namespace tw::store {
+
+namespace {
+
+// Log-record payload types. All fields merge monotonically on replay, so
+// losing any record to corruption only lowers a watermark.
+constexpr std::uint8_t kRecIncarnation = 1;
+constexpr std::uint8_t kRecReserveSeq = 2;
+constexpr std::uint8_t kRecView = 3;
+constexpr std::uint8_t kRecDelivery = 4;
+
+std::vector<std::byte> encode_kernel(const RecoveryKernel& k) {
+  util::ByteWriter w;
+  w.var_u64(k.incarnation);
+  w.var_u64(k.reserved_seq);
+  w.var_u64(k.gid);
+  w.u64(k.view_bits);
+  w.var_u64(k.delivered_below);
+  w.var_u64(k.delivered_seq.size());
+  for (const auto& [proposer, seq] : k.delivered_seq) {
+    w.u32(proposer);
+    w.var_u64(seq);
+  }
+  return std::move(w).take();
+}
+
+bool decode_kernel(const std::vector<std::byte>& bytes, RecoveryKernel& k) {
+  try {
+    util::ByteReader r(bytes);
+    k.incarnation = r.var_u64();
+    k.reserved_seq = r.var_u64();
+    k.gid = r.var_u64();
+    k.view_bits = r.u64();
+    k.delivered_below = r.var_u64();
+    const std::uint64_t count = r.var_u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const ProcessId proposer = r.u32();
+      k.delivered_seq[proposer] = r.var_u64();
+    }
+  } catch (const util::DecodeError&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StableStore::StableStore(Storage& backend, std::string prefix)
+    : backend_(backend),
+      snap_name_(prefix + ".snap"),
+      log_(backend, prefix + ".log") {}
+
+StoreOpenStats StableStore::open() {
+  StoreOpenStats stats;
+  kernel_ = RecoveryKernel{};
+  log_records_ = 0;
+  sync_failures_ = 0;
+
+  std::vector<std::byte> snap;
+  if (load_snapshot(backend_, snap_name_, snap)) {
+    RecoveryKernel k;
+    if (decode_kernel(snap, k)) {
+      kernel_ = std::move(k);
+      stats.snapshot_loaded = true;
+    } else {
+      ++stats.bad_records;
+    }
+  }
+
+  std::vector<std::vector<std::byte>> records;
+  const LogOpenStats log_stats = log_.open(records);
+  stats.log_records = log_stats.records;
+  stats.skipped_bytes = log_stats.skipped_bytes;
+  stats.truncated_bytes = log_stats.truncated_bytes;
+  for (const auto& rec : records) {
+    bool bad = false;
+    apply_record(rec, bad);
+    if (bad) ++stats.bad_records;
+  }
+  log_records_ = log_stats.records;
+  return stats;
+}
+
+void StableStore::apply_record(const std::vector<std::byte>& payload,
+                               bool& bad) {
+  try {
+    util::ByteReader r(payload);
+    switch (r.u8()) {
+      case kRecIncarnation:
+        kernel_.incarnation = std::max(kernel_.incarnation, r.var_u64());
+        break;
+      case kRecReserveSeq:
+        kernel_.reserved_seq = std::max(kernel_.reserved_seq, r.var_u64());
+        break;
+      case kRecView: {
+        const GroupId gid = r.var_u64();
+        const std::uint64_t bits = r.u64();
+        if (gid >= kernel_.gid) {
+          kernel_.gid = gid;
+          kernel_.view_bits = bits;
+        }
+        break;
+      }
+      case kRecDelivery: {
+        const ProcessId proposer = r.u32();
+        const ProposalSeq seq = r.var_u64();
+        const Ordinal below = r.var_u64();
+        auto& slot = kernel_.delivered_seq[proposer];
+        slot = std::max(slot, seq);
+        kernel_.delivered_below = std::max(kernel_.delivered_below, below);
+        break;
+      }
+      default:
+        bad = true;
+        break;
+    }
+  } catch (const util::DecodeError&) {
+    bad = true;
+  }
+}
+
+void StableStore::append_record(const std::vector<std::byte>& payload) {
+  if (!log_.append(payload)) ++sync_failures_;
+  ++log_records_;
+}
+
+std::uint64_t StableStore::begin_incarnation() {
+  ++kernel_.incarnation;
+  util::ByteWriter w;
+  w.u8(kRecIncarnation);
+  w.var_u64(kernel_.incarnation);
+  append_record(std::move(w).take());
+  return kernel_.incarnation;
+}
+
+ProposalSeq StableStore::reserve_proposal_seq(ProposalSeq seq,
+                                              ProposalSeq chunk) {
+  if (seq < kernel_.reserved_seq) return kernel_.reserved_seq;
+  kernel_.reserved_seq = seq + std::max<ProposalSeq>(1, chunk);
+  util::ByteWriter w;
+  w.u8(kRecReserveSeq);
+  w.var_u64(kernel_.reserved_seq);
+  append_record(std::move(w).take());
+  return kernel_.reserved_seq;
+}
+
+void StableStore::note_view(GroupId gid, std::uint64_t view_bits) {
+  if (gid < kernel_.gid) return;
+  kernel_.gid = gid;
+  kernel_.view_bits = view_bits;
+  util::ByteWriter w;
+  w.u8(kRecView);
+  w.var_u64(gid);
+  w.u64(view_bits);
+  append_record(std::move(w).take());
+}
+
+void StableStore::note_delivery(ProcessId proposer, ProposalSeq seq,
+                                Ordinal below) {
+  auto& slot = kernel_.delivered_seq[proposer];
+  slot = std::max(slot, seq);
+  kernel_.delivered_below = std::max(kernel_.delivered_below, below);
+  util::ByteWriter w;
+  w.u8(kRecDelivery);
+  w.u32(proposer);
+  w.var_u64(seq);
+  w.var_u64(below);
+  append_record(std::move(w).take());
+}
+
+bool StableStore::checkpoint() {
+  if (!save_snapshot(backend_, snap_name_, encode_kernel(kernel_))) {
+    ++sync_failures_;
+    return false;
+  }
+  log_.reset();
+  log_records_ = 0;
+  return true;
+}
+
+}  // namespace tw::store

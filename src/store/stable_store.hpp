@@ -1,0 +1,109 @@
+// The per-process recovery kernel on stable storage.
+//
+// StableStore persists the handful of facts a process MUST remember across
+// a crash for the membership and broadcast guarantees to survive its
+// recovery (paper §2/§4.2):
+//   * incarnation counter — distinguishes restarts, drives rejoin traffic;
+//   * a reserved proposal-sequence watermark — proposal ids strictly below
+//     it may have been used, so the next incarnation starts above it and
+//     ids never repeat (the continuity rule behind FIFO order);
+//   * the last installed GroupId + member set — the floor against which a
+//     recovering process validates state-transfer donors (a snapshot from
+//     an older group than the one we installed is stale);
+//   * delivery watermarks — the highest total-order ordinal delivered to
+//     the application and the per-proposer delivered sequence numbers, so
+//     a recovered process never hands the application a duplicate.
+//
+// Representation: a snapshot (atomic write-then-rename, CRC-guarded) plus
+// an append-only CRC-framed record log of incremental updates. open()
+// loads the last good snapshot and replays whatever log records survive;
+// every replayed field merges via max(), so a corrupted or torn record
+// degrades the kernel monotonically (a slightly older watermark) instead
+// of corrupting it. checkpoint() folds the log back into the snapshot.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "store/record_log.hpp"
+#include "store/storage.hpp"
+#include "util/types.hpp"
+
+namespace tw::store {
+
+struct RecoveryKernel {
+  std::uint64_t incarnation = 0;
+  /// Proposal ids strictly below this may have been used by any previous
+  /// incarnation; the next incarnation must start at or above it.
+  ProposalSeq reserved_seq = 0;
+  /// Last installed group (0 = never installed one this lifetime).
+  GroupId gid = 0;
+  std::uint64_t view_bits = 0;
+  /// Total-order ordinals strictly below this were delivered to the app.
+  Ordinal delivered_below = 0;
+  /// Per-proposer: sequence numbers at or below were delivered.
+  std::map<ProcessId, ProposalSeq> delivered_seq;
+};
+
+struct StoreOpenStats {
+  bool snapshot_loaded = false;
+  std::size_t log_records = 0;
+  std::size_t skipped_bytes = 0;    ///< log garbage scanned over
+  std::size_t truncated_bytes = 0;  ///< torn log tail removed
+  std::size_t bad_records = 0;      ///< framed but undecodable payloads
+};
+
+class StableStore {
+ public:
+  /// Uses `<prefix>.log` and `<prefix>.snap` inside the backend.
+  StableStore(Storage& backend, std::string prefix);
+
+  /// (Re)load the kernel: last good snapshot, then replay the log over it.
+  /// Safe to call again after every recovery — the in-memory kernel is
+  /// rebuilt from scratch from what actually survived.
+  StoreOpenStats open();
+
+  [[nodiscard]] const RecoveryKernel& kernel() const { return kernel_; }
+
+  /// Bump and persist the incarnation counter. Returns the new value.
+  std::uint64_t begin_incarnation();
+
+  /// Ensure `reserved_seq > seq` durably, extending in `chunk`-sized
+  /// strides so only every chunk-th proposal pays a log append. Call
+  /// BEFORE using `seq`; returns the new durable watermark.
+  ProposalSeq reserve_proposal_seq(ProposalSeq seq, ProposalSeq chunk = 64);
+
+  /// Persist the newly installed view.
+  void note_view(GroupId gid, std::uint64_t view_bits);
+
+  /// Persist delivery progress: proposer's `seq` delivered, and all
+  /// total-order ordinals strictly below `below` delivered.
+  void note_delivery(ProcessId proposer, ProposalSeq seq, Ordinal below);
+
+  /// Fold the log into a fresh snapshot and reset the log. Returns false
+  /// (log kept) if the snapshot write failed.
+  bool checkpoint();
+
+  [[nodiscard]] std::size_t log_records_since_checkpoint() const {
+    return log_records_;
+  }
+  /// Appends/syncs that reported a durability failure since open().
+  [[nodiscard]] std::uint64_t sync_failures() const {
+    return sync_failures_;
+  }
+
+ private:
+  void append_record(const std::vector<std::byte>& payload);
+  void apply_record(const std::vector<std::byte>& payload, bool& bad);
+
+  Storage& backend_;
+  std::string snap_name_;
+  RecordLog log_;
+  RecoveryKernel kernel_;
+  std::size_t log_records_ = 0;
+  std::uint64_t sync_failures_ = 0;
+};
+
+}  // namespace tw::store

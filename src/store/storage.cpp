@@ -1,0 +1,213 @@
+#include "store/storage.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+namespace tw::store {
+
+// --- MemStorage -------------------------------------------------------------
+
+bool MemStorage::read(const std::string& name, std::vector<std::byte>& out) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) return false;
+  out = it->second.data;
+  return true;
+}
+
+bool MemStorage::append(const std::string& name,
+                        std::span<const std::byte> data) {
+  File& f = files_[name];
+  std::size_t keep = data.size();
+  if (faults_.torn_appends > 0 && !data.empty()) {
+    --faults_.torn_appends;
+    const int pct = std::clamp(faults_.torn_keep_pct, 0, 99);
+    keep = std::max<std::size_t>(
+        1, data.size() * static_cast<std::size_t>(pct) / 100);
+    keep = std::min(keep, data.size() - 1);
+  } else if (faults_.short_appends > 0 && !data.empty()) {
+    --faults_.short_appends;
+    keep = data.size() - 1;
+  }
+  f.data.insert(f.data.end(), data.begin(),
+                data.begin() + static_cast<std::ptrdiff_t>(keep));
+  return true;
+}
+
+bool MemStorage::write_atomic(const std::string& name,
+                              std::span<const std::byte> data) {
+  // The rename is preceded by an fsync of the temp file: an armed fsync
+  // failure aborts the replacement and leaves the old content intact.
+  if (faults_.fsync_failures > 0) {
+    --faults_.fsync_failures;
+    return false;
+  }
+  File& f = files_[name];
+  f.data.assign(data.begin(), data.end());
+  f.synced = f.data.size();
+  return true;
+}
+
+bool MemStorage::truncate(const std::string& name, std::uint64_t size) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) return false;
+  File& f = it->second;
+  if (size < f.data.size()) f.data.resize(size);
+  f.synced = std::min<std::uint64_t>(f.synced, f.data.size());
+  return true;
+}
+
+bool MemStorage::sync(const std::string& name) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) return true;  // nothing to make durable
+  if (faults_.fsync_failures > 0) {
+    --faults_.fsync_failures;
+    return false;
+  }
+  it->second.synced = it->second.data.size();
+  return true;
+}
+
+bool MemStorage::remove(const std::string& name) {
+  return files_.erase(name) > 0;
+}
+
+bool MemStorage::exists(const std::string& name) const {
+  return files_.contains(name);
+}
+
+bool MemStorage::flip_bit(const std::string& name,
+                          std::uint64_t bit_index) {
+  const auto it = files_.find(name);
+  if (it == files_.end() || it->second.data.empty()) return false;
+  std::vector<std::byte>& data = it->second.data;
+  const std::uint64_t bit = bit_index % (data.size() * 8);
+  data[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  return true;
+}
+
+void MemStorage::crash() {
+  for (auto& [name, f] : files_) {
+    if (f.synced < f.data.size()) f.data.resize(f.synced);
+  }
+}
+
+std::uint64_t MemStorage::size(const std::string& name) const {
+  const auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.data.size();
+}
+
+std::uint64_t MemStorage::synced_size(const std::string& name) const {
+  const auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.synced;
+}
+
+// --- FileStorage ------------------------------------------------------------
+
+FileStorage::FileStorage(std::string dir) : dir_(std::move(dir)) {
+  // Create the whole path, parents included (EEXIST at each step is fine).
+  for (std::size_t i = 1; i <= dir_.size(); ++i) {
+    if (i < dir_.size() && dir_[i] != '/') continue;
+    ::mkdir(dir_.substr(0, i).c_str(), 0755);
+  }
+}
+
+std::string FileStorage::path(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+bool FileStorage::read(const std::string& name,
+                       std::vector<std::byte>& out) {
+  const int fd = ::open(path(name).c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  out.clear();
+  std::byte buf[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (got == 0) break;
+    out.insert(out.end(), buf, buf + got);
+  }
+  ::close(fd);
+  return true;
+}
+
+bool FileStorage::append(const std::string& name,
+                         std::span<const std::byte> data) {
+  const int fd =
+      ::open(path(name).c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t put = ::write(fd, data.data() + done, data.size() - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  ::close(fd);
+  return true;
+}
+
+bool FileStorage::write_atomic(const std::string& name,
+                               std::span<const std::byte> data) {
+  const std::string tmp = path(name) + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t put = ::write(fd, data.data() + done, data.size() - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path(name).c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool FileStorage::truncate(const std::string& name, std::uint64_t size) {
+  return ::truncate(path(name).c_str(),
+                    static_cast<off_t>(size)) == 0;
+}
+
+bool FileStorage::sync(const std::string& name) {
+  const int fd = ::open(path(name).c_str(), O_RDONLY);
+  if (fd < 0) return !exists(name);  // nothing to sync is fine
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool FileStorage::remove(const std::string& name) {
+  return ::unlink(path(name).c_str()) == 0;
+}
+
+bool FileStorage::exists(const std::string& name) const {
+  struct stat st{};
+  return ::stat(path(name).c_str(), &st) == 0;
+}
+
+}  // namespace tw::store

@@ -1,0 +1,130 @@
+// Stable-storage backends for the per-process recovery kernel.
+//
+// The paper's timed asynchronous model lets processes crash AND recover;
+// what makes recovery sound is a small amount of stable storage that
+// survives the crash (proposal ids must never repeat across incarnations,
+// and a recovered process must not act on pre-crash delivery state it no
+// longer remembers). `Storage` is the byte-level substrate: a flat
+// namespace of named byte files with the three primitives the layers above
+// need — whole-file read, append, and atomic whole-file replace
+// (write-then-rename) — plus an explicit sync barrier.
+//
+// Two backends:
+//  * MemStorage — an in-memory filesystem with a WRITE-BACK CACHE model:
+//    appended bytes are volatile until sync() succeeds, and crash() drops
+//    every unsynced suffix, exactly like a page cache on power loss. It is
+//    also the torture engine's attack surface: torn appends (a crashed
+//    write persists only a prefix), short writes (the tail bytes of one
+//    append are silently lost), direct bit flips (media corruption), and
+//    armed fsync failures are all injectable and deterministic.
+//  * FileStorage — a directory of real files via POSIX fds, used by the
+//    UDP example so a kill -9'd process finds its kernel on restart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tw::store {
+
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  /// Whole-file read. Returns false if the file does not exist.
+  virtual bool read(const std::string& name,
+                    std::vector<std::byte>& out) = 0;
+  /// Append bytes (creating the file if needed). Durable only after a
+  /// successful sync().
+  virtual bool append(const std::string& name,
+                      std::span<const std::byte> data) = 0;
+  /// Atomically replace the file's whole content (write temp, sync,
+  /// rename). On failure the previous content is intact.
+  virtual bool write_atomic(const std::string& name,
+                            std::span<const std::byte> data) = 0;
+  /// Drop everything at and past `size` (used for torn-tail repair).
+  virtual bool truncate(const std::string& name, std::uint64_t size) = 0;
+  /// Durability barrier for preceding appends. May fail (disk trouble);
+  /// unsynced bytes are then still volatile.
+  virtual bool sync(const std::string& name) = 0;
+  virtual bool remove(const std::string& name) = 0;
+  [[nodiscard]] virtual bool exists(const std::string& name) const = 0;
+};
+
+/// Armed fault counters for MemStorage. Each counter burns down as the
+/// matching operations happen, so a torture plan can schedule "the next
+/// append is torn" deterministically.
+struct StorageFaults {
+  /// Next N appends persist only a prefix (a crash mid-write): keep
+  /// max(1, len * torn_keep_pct / 100) bytes, always less than the whole.
+  int torn_appends = 0;
+  int torn_keep_pct = 50;
+  /// Next N appends lose their final byte (a classic short write that
+  /// went unchecked) while later appends continue after the gap.
+  int short_appends = 0;
+  /// Next N sync() barriers fail; the bytes they covered stay volatile
+  /// and are lost if a crash() lands before a later successful sync.
+  int fsync_failures = 0;
+};
+
+class MemStorage final : public Storage {
+ public:
+  bool read(const std::string& name, std::vector<std::byte>& out) override;
+  bool append(const std::string& name,
+              std::span<const std::byte> data) override;
+  bool write_atomic(const std::string& name,
+                    std::span<const std::byte> data) override;
+  bool truncate(const std::string& name, std::uint64_t size) override;
+  bool sync(const std::string& name) override;
+  bool remove(const std::string& name) override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+
+  // --- fault injection ----------------------------------------------------
+  StorageFaults& faults() { return faults_; }
+  /// Media corruption: flip bit (index mod file bits) of `name`. Returns
+  /// false if the file is missing or empty.
+  bool flip_bit(const std::string& name, std::uint64_t bit_index);
+  /// Power-loss model: every file loses its unsynced suffix. Called by the
+  /// harness when the owning process crashes.
+  void crash();
+
+  /// Bytes currently held for `name` (0 if absent) — test introspection.
+  [[nodiscard]] std::uint64_t size(const std::string& name) const;
+  [[nodiscard]] std::uint64_t synced_size(const std::string& name) const;
+
+ private:
+  struct File {
+    std::vector<std::byte> data;
+    std::uint64_t synced = 0;  ///< prefix guaranteed to survive crash()
+  };
+  std::map<std::string, File> files_;
+  StorageFaults faults_;
+};
+
+/// POSIX directory backend. The directory is created on construction.
+/// No fault injection — real disks supply their own.
+class FileStorage final : public Storage {
+ public:
+  explicit FileStorage(std::string dir);
+
+  bool read(const std::string& name, std::vector<std::byte>& out) override;
+  bool append(const std::string& name,
+              std::span<const std::byte> data) override;
+  bool write_atomic(const std::string& name,
+                    std::span<const std::byte> data) override;
+  bool truncate(const std::string& name, std::uint64_t size) override;
+  bool sync(const std::string& name) override;
+  bool remove(const std::string& name) override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  [[nodiscard]] std::string path(const std::string& name) const;
+  std::string dir_;
+};
+
+}  // namespace tw::store

@@ -47,6 +47,9 @@ const char* fault_type_name(FaultType t) {
     case FaultType::clock_drift: return "clock_drift";
     case FaultType::set_model: return "set_model";
     case FaultType::clear_rules: return "clear_rules";
+    case FaultType::store_torn: return "store_torn";
+    case FaultType::store_flip: return "store_flip";
+    case FaultType::store_fsync: return "store_fsync";
   }
   return "?";
 }
@@ -89,6 +92,16 @@ std::string FaultOp::to_string() const {
     case FaultType::set_model:
       os << " dup=" << model.dup_prob << " reorder=" << model.reorder_prob
          << " corrupt=" << model.corrupt_prob;
+      break;
+    case FaultType::store_torn:
+      os << " p" << p << " x" << count << " keep " << static_cast<int>(kind)
+         << "%";
+      break;
+    case FaultType::store_flip:
+      os << " p" << p << (kind == 0 ? " log" : " snap") << " bit " << step;
+      break;
+    case FaultType::store_fsync:
+      os << " p" << p << " x" << count;
       break;
   }
   return os.str();
@@ -143,7 +156,7 @@ FaultPlan generate_plan(const TortureConfig& cfg, std::uint64_t seed) {
     FaultOp op;
     op.at = t;
     const auto p = static_cast<ProcessId>(rng.uniform_int(0, cfg.n - 1));
-    switch (rng.uniform_int(0, 11)) {
+    switch (rng.uniform_int(0, 12)) {
       case 0:
       case 1:  // crash, if the failure assumption allows it
         if (cfg.crashes && up[p] && t >= partitioned_until &&
@@ -231,7 +244,31 @@ FaultPlan generate_plan(const TortureConfig& cfg, std::uint64_t seed) {
           plan.ops.push_back(op);
         }
         break;
-      case 10:  // hardware-clock step
+      case 10:  // stable-storage fault (torn append / bit flip / fsync)
+        if (cfg.store_faults) {
+          switch (rng.uniform_int(0, 2)) {
+            case 0:
+              op.type = FaultType::store_torn;
+              op.count = static_cast<int>(rng.uniform_int(1, 3));
+              op.kind = static_cast<std::uint8_t>(rng.uniform_int(10, 90));
+              break;
+            case 1:
+              op.type = FaultType::store_flip;
+              // Mostly attack the log (it grows continuously); sometimes
+              // the snapshot, forcing the open-time fallback paths.
+              op.kind = rng.chance(0.3) ? 1 : 0;
+              op.step = rng.uniform_int(0, 1 << 20);  // mod file bits
+              break;
+            default:
+              op.type = FaultType::store_fsync;
+              op.count = static_cast<int>(rng.uniform_int(1, 4));
+              break;
+          }
+          op.p = p;
+          plan.ops.push_back(op);
+        }
+        break;
+      case 11:  // hardware-clock step
         if (cfg.clock_faults && up[p]) {
           op.type = FaultType::clock_step;
           op.p = p;
@@ -357,6 +394,28 @@ void apply_plan(const FaultPlan& plan, gms::SimHarness& harness) {
       case FaultType::clear_rules:
         faults.clear_rules_at(op.at);
         break;
+      case FaultType::store_torn:
+      case FaultType::store_flip:
+      case FaultType::store_fsync:
+        if (!harness.durable()) break;  // storeless run: nothing to attack
+        harness.cluster().simulator().at(op.at, [&harness, op] {
+          store::MemStorage& m = harness.mem_storage(op.p);
+          switch (op.type) {
+            case FaultType::store_torn:
+              m.faults().torn_appends += op.count;
+              m.faults().torn_keep_pct = op.kind;
+              break;
+            case FaultType::store_flip:
+              m.flip_bit("p" + std::to_string(op.p) +
+                             (op.kind == 0 ? ".log" : ".snap"),
+                         static_cast<std::uint64_t>(op.step));
+              break;
+            default:
+              m.faults().fsync_failures += op.count;
+              break;
+          }
+        });
+        break;
     }
   }
   for (const WorkloadOp& wop : plan.workload) {
@@ -445,7 +504,7 @@ bool plan_from_string(const std::string& text, FaultPlan& out) {
           op.model.reorder_prob >> op.model.corrupt_prob >> structural;
       if (ls.fail()) return false;
       bool found = false;
-      for (int ti = 0; ti <= static_cast<int>(FaultType::clear_rules);
+      for (int ti = 0; ti <= static_cast<int>(FaultType::store_fsync);
            ++ti) {
         if (type_name == fault_type_name(static_cast<FaultType>(ti))) {
           op.type = static_cast<FaultType>(ti);

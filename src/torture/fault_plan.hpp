@@ -39,6 +39,11 @@ enum class FaultType : std::uint8_t {
   clock_drift,
   set_model,   ///< switch the ambient NetFaultModel
   clear_rules,
+  // Stable-storage faults (apply to p's MemStorage backend; no-ops when the
+  // harness runs without durable stores).
+  store_torn,   ///< arm `count` torn appends keeping `kind` percent
+  store_flip,   ///< flip media bit `step` of the log (kind=0) / snap (kind=1)
+  store_fsync,  ///< arm `count` failing sync barriers
 };
 
 [[nodiscard]] const char* fault_type_name(FaultType t);
@@ -90,6 +95,7 @@ struct TortureConfig {
   bool reordering = true;
   bool corruption = true;
   bool clock_faults = true;
+  bool store_faults = true;
 
   double workload_rate_hz = 15.0;           ///< proposal rate during faults
 

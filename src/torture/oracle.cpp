@@ -116,6 +116,30 @@ OracleReport run_oracle(gms::SimHarness& harness, const FaultPlan& plan) {
   for (auto&& e : harness.check_majority_agreement_invariants(everyone))
     report.violations.push_back(e);
 
+  // Rehabilitation liveness: every process that crashed during the fault
+  // window was recovered by the structural epilogue at fault_end, a full
+  // stabilization window (settle + quiet tail) before this check. By now
+  // none may still be recovered-dirty — a dirty member is a zombie holding
+  // pre-crash membership without replica state, exactly the deadlock the
+  // rejoin solicitation exists to break — and none may still be buffering
+  // application deliveries behind a state transfer that never came.
+  if (report.converged) {
+    for (ProcessId p = 0; p < n; ++p) {
+      const auto& node = harness.node(p);
+      if (node.recovered_dirty() || node.awaiting_state()) {
+        report.violations.push_back(
+            "rehabilitation liveness: p" + std::to_string(p) +
+            " still recovered-dirty/awaiting-state after convergence" +
+            " (incarnation " + std::to_string(node.incarnation()) + ")");
+      } else if (node.buffered_delivery_count() != 0) {
+        report.violations.push_back(
+            "rehabilitation liveness: p" + std::to_string(p) + " holds " +
+            std::to_string(node.buffered_delivery_count()) +
+            " undelivered buffered messages after convergence");
+      }
+    }
+  }
+
   // Ordinal-stream monotonicity: within each member's history the
   // ordinal-assigned deliveries must appear in strictly increasing ordinal
   // order — total order delivery follows the decision order, and a state

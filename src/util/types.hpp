@@ -26,9 +26,12 @@ using Ordinal = std::uint64_t;
 inline constexpr Ordinal kNoOrdinal = std::numeric_limits<Ordinal>::max();
 
 /// Per-sender proposal sequence number (FIFO order within one proposer).
-/// 64-bit: after a crash recovery the sequence restarts from the hardware
-/// clock's microsecond reading, which is strictly above anything the
-/// previous incarnation used (proposal ids must never repeat).
+/// 64-bit; proposal ids must never repeat across incarnations. With a
+/// stable store the sequence restarts from the durable reservation
+/// watermark (store::StableStore::reserve_proposal_seq), which no clock
+/// fault can roll back. Storeless processes fall back to the hardware
+/// clock's microsecond reading — strictly above anything the previous
+/// incarnation used only while the clock never steps backwards.
 using ProposalSeq = std::uint64_t;
 
 }  // namespace tw

@@ -101,6 +101,57 @@ TEST(Timeline, DegradedFsmTransitionAlsoTriggersLatency) {
   EXPECT_EQ(report.views[0].latency_us, 4000);
 }
 
+TEST(Timeline, RecoveryEpisodeIsStitchedAcrossMilestones) {
+  std::vector<Event> in;
+  // A pre-crash start without the recovery flag opens nothing.
+  in.push_back(ev(100, 0, 3, EvKind::node_start, 0));
+  // Crash at ~4000; the new incarnation starts at 5000, replays 12 log
+  // records (7 bytes lost to a torn tail), solicits twice, is
+  // re-baselined by gid 6's state transfer, and installs gid 7.
+  in.push_back(ev(5000, 0, 3, EvKind::node_start, 1));
+  in.push_back(ev(5020, 0, 3, EvKind::store_open, 1, 12, 7));
+  in.push_back(ev(5500, 0, 3, EvKind::rejoin_request, 0, 1));
+  in.push_back(ev(6500, 0, 3, EvKind::rejoin_request, 0, 2));
+  in.push_back(ev(7000, 0, 3, EvKind::rehabilitated, 0, 6, 3));
+  // Another process's install must not close p3's episode.
+  in.push_back(ev(7100, 0, 0, EvKind::view_install, 0, 7, 0b1011));
+  in.push_back(ev(7200, 0, 3, EvKind::view_install, 0, 7, 0b1011));
+  const auto report = analyze_timeline(merge_timeline(in));
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  const RecoveryStat& r = report.recoveries[0];
+  EXPECT_EQ(r.p, 3u);
+  EXPECT_EQ(r.start, 5000);
+  EXPECT_EQ(r.store_open, 5020);
+  EXPECT_EQ(r.log_records, 12u);
+  EXPECT_EQ(r.bytes_lost, 7u);
+  EXPECT_EQ(r.rejoin_requests, 2);
+  EXPECT_EQ(r.rehabilitated, 7000);
+  EXPECT_EQ(r.flushed, 3u);
+  EXPECT_EQ(r.readmit_view, 7200);
+  EXPECT_EQ(r.gid, 7u);
+  EXPECT_EQ(r.total_us(), 2200);
+
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("recoveries"), std::string::npos);
+  EXPECT_NE(text.find("readmitted gid=7"), std::string::npos);
+}
+
+TEST(Timeline, IncompleteRecoveryFallsBackAndIsFlagged) {
+  std::vector<Event> in;
+  // A zombie rehabilitation with no subsequent view change: the group
+  // never reconfigured, so the episode ends at the rehabilitation point.
+  in.push_back(ev(1000, 0, 2, EvKind::node_start, 1));
+  in.push_back(ev(1900, 0, 2, EvKind::rehabilitated, 0, 4, 0));
+  // A second recovery that the trace ends in the middle of.
+  in.push_back(ev(9000, 0, 1, EvKind::node_start, 1));
+  in.push_back(ev(9030, 0, 1, EvKind::store_open, 1, 3, 0));
+  const auto report = analyze_timeline(merge_timeline(in));
+  ASSERT_EQ(report.recoveries.size(), 2u);
+  EXPECT_EQ(report.recoveries[0].total_us(), 900);
+  EXPECT_EQ(report.recoveries[1].total_us(), -1);
+  EXPECT_NE(report.to_string().find("[incomplete]"), std::string::npos);
+}
+
 TEST(Timeline, FormatAndReportAreHumanReadable) {
   const Event send = ev(10, -3, 1, EvKind::dgram_send,
                         static_cast<std::uint8_t>(net::MsgKind::proposal),

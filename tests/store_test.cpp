@@ -1,0 +1,237 @@
+// Stable-storage library: record-log framing and corruption repair,
+// snapshot fallback, fsync-failure handling, and the write-back-cache
+// crash model of MemStorage.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "store/record_log.hpp"
+#include "store/snapshot.hpp"
+#include "store/stable_store.hpp"
+#include "store/storage.hpp"
+
+namespace tw::store {
+namespace {
+
+std::vector<std::byte> bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = std::byte(s[i]);
+  return out;
+}
+
+std::string text(const std::vector<std::byte>& b) {
+  std::string out(b.size(), '\0');
+  for (std::size_t i = 0; i < b.size(); ++i)
+    out[i] = static_cast<char>(b[i]);
+  return out;
+}
+
+TEST(MemStorage, CrashDropsUnsyncedSuffix) {
+  MemStorage mem;
+  ASSERT_TRUE(mem.append("f", bytes("durable")));
+  ASSERT_TRUE(mem.sync("f"));
+  ASSERT_TRUE(mem.append("f", bytes("+volatile")));
+  EXPECT_EQ(mem.size("f"), 16u);
+  EXPECT_EQ(mem.synced_size("f"), 7u);
+  mem.crash();
+  std::vector<std::byte> got;
+  ASSERT_TRUE(mem.read("f", got));
+  EXPECT_EQ(text(got), "durable");
+}
+
+TEST(MemStorage, TornAppendKeepsStrictPrefix) {
+  MemStorage mem;
+  mem.faults().torn_appends = 1;
+  mem.faults().torn_keep_pct = 50;
+  ASSERT_TRUE(mem.append("f", bytes("0123456789")));
+  EXPECT_EQ(mem.size("f"), 5u);
+  ASSERT_TRUE(mem.append("f", bytes("AB")));  // fault burned down
+  EXPECT_EQ(mem.size("f"), 7u);
+}
+
+TEST(MemStorage, FailedSyncLeavesBytesVolatile) {
+  MemStorage mem;
+  mem.faults().fsync_failures = 1;
+  ASSERT_TRUE(mem.append("f", bytes("abc")));
+  EXPECT_FALSE(mem.sync("f"));
+  mem.crash();
+  EXPECT_EQ(mem.size("f"), 0u);
+}
+
+TEST(RecordLog, RoundTrip) {
+  MemStorage mem;
+  RecordLog log(mem, "log");
+  ASSERT_TRUE(log.append(bytes("one")));
+  ASSERT_TRUE(log.append(bytes("two")));
+  ASSERT_TRUE(log.append(bytes("three")));
+  std::vector<std::vector<std::byte>> records;
+  const LogOpenStats st = log.open(records);
+  EXPECT_TRUE(st.clean());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(text(records[0]), "one");
+  EXPECT_EQ(text(records[1]), "two");
+  EXPECT_EQ(text(records[2]), "three");
+}
+
+TEST(RecordLog, TornTailIsTruncatedAway) {
+  MemStorage mem;
+  RecordLog log(mem, "log");
+  ASSERT_TRUE(log.append(bytes("kept")));
+  // The next append is torn mid-frame (crash during the write), leaving a
+  // partial frame at the tail.
+  mem.faults().torn_appends = 1;
+  log.append(bytes("torn-away-payload"));
+  const std::uint64_t dirty = mem.size("log");
+  std::vector<std::vector<std::byte>> records;
+  const LogOpenStats st = log.open(records);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(text(records[0]), "kept");
+  EXPECT_GT(st.truncated_bytes, 0u);
+  // Repair is physical: the tail is gone and a fresh append goes through.
+  EXPECT_LT(mem.size("log"), dirty);
+  ASSERT_TRUE(log.append(bytes("after")));
+  records.clear();
+  EXPECT_TRUE(log.open(records).clean());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(text(records[1]), "after");
+}
+
+TEST(RecordLog, MidLogBitFlipIsSkippedWithResync) {
+  MemStorage mem;
+  RecordLog log(mem, "log");
+  ASSERT_TRUE(log.append(bytes("first")));
+  const std::uint64_t mid_start = mem.size("log");
+  ASSERT_TRUE(log.append(bytes("second")));
+  ASSERT_TRUE(log.append(bytes("third")));
+  // Corrupt the middle record's payload: its CRC no longer matches, so the
+  // scanner must skip it and resynchronize on the third frame's magic.
+  ASSERT_TRUE(mem.flip_bit("log", (mid_start + 9) * 8 + 3));
+  std::vector<std::vector<std::byte>> records;
+  const LogOpenStats st = log.open(records);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(text(records[0]), "first");
+  EXPECT_EQ(text(records[1]), "third");
+  EXPECT_GT(st.skipped_bytes, 0u);
+}
+
+TEST(Snapshot, RoundTripAndCorruptionDetection) {
+  MemStorage mem;
+  ASSERT_TRUE(save_snapshot(mem, "snap", bytes("kernel-state")));
+  std::vector<std::byte> got;
+  ASSERT_TRUE(load_snapshot(mem, "snap", got));
+  EXPECT_EQ(text(got), "kernel-state");
+  ASSERT_TRUE(mem.flip_bit("snap", 12 * 8 + 1));  // payload byte 0
+  EXPECT_FALSE(load_snapshot(mem, "snap", got));
+}
+
+TEST(Snapshot, FailedAtomicWriteKeepsOldSnapshot) {
+  MemStorage mem;
+  ASSERT_TRUE(save_snapshot(mem, "snap", bytes("v1")));
+  mem.faults().fsync_failures = 1;
+  EXPECT_FALSE(save_snapshot(mem, "snap", bytes("v2")));
+  std::vector<std::byte> got;
+  ASSERT_TRUE(load_snapshot(mem, "snap", got));
+  EXPECT_EQ(text(got), "v1");
+}
+
+TEST(StableStore, KernelRoundTripThroughLogAndCheckpoint) {
+  MemStorage mem;
+  StableStore store(mem, "p0");
+  store.open();
+  EXPECT_EQ(store.begin_incarnation(), 1u);
+  store.reserve_proposal_seq(0, 64);
+  store.note_view(42, 0b10111);
+  store.note_delivery(3, 17, 9);
+  store.note_delivery(1, 4, 12);
+
+  StableStore reopened(mem, "p0");
+  const StoreOpenStats st = reopened.open();
+  EXPECT_FALSE(st.snapshot_loaded);
+  EXPECT_GT(st.log_records, 0u);
+  const RecoveryKernel& k = reopened.kernel();
+  EXPECT_EQ(k.incarnation, 1u);
+  EXPECT_GE(k.reserved_seq, 64u);
+  EXPECT_EQ(k.gid, 42u);
+  EXPECT_EQ(k.view_bits, 0b10111u);
+  EXPECT_EQ(k.delivered_below, 12u);
+  EXPECT_EQ(k.delivered_seq.at(3), 17u);
+  EXPECT_EQ(k.delivered_seq.at(1), 4u);
+
+  // Checkpoint folds the log into the snapshot; a third open loads the
+  // snapshot and replays nothing.
+  ASSERT_TRUE(reopened.checkpoint());
+  StableStore third(mem, "p0");
+  const StoreOpenStats st3 = third.open();
+  EXPECT_TRUE(st3.snapshot_loaded);
+  EXPECT_EQ(st3.log_records, 0u);
+  EXPECT_EQ(third.kernel().gid, 42u);
+  EXPECT_EQ(third.kernel().delivered_below, 12u);
+}
+
+TEST(StableStore, CorruptSnapshotFallsBackToLog) {
+  MemStorage mem;
+  StableStore store(mem, "p0");
+  store.open();
+  store.begin_incarnation();
+  store.note_view(7, 0b11);
+  ASSERT_TRUE(store.checkpoint());
+  store.note_view(9, 0b111);  // post-checkpoint log record
+
+  // Flip a snapshot payload bit: open() must reject it and still rebuild
+  // the kernel from the surviving log records.
+  ASSERT_TRUE(mem.flip_bit("p0.snap", 13 * 8));
+  StableStore reopened(mem, "p0");
+  const StoreOpenStats st = reopened.open();
+  EXPECT_FALSE(st.snapshot_loaded);
+  EXPECT_EQ(reopened.kernel().gid, 9u);
+  EXPECT_EQ(reopened.kernel().view_bits, 0b111u);
+  // The snapshot's contribution (gid 7) is gone — but monotonic merges
+  // mean the kernel is merely older, never wrong.
+  EXPECT_EQ(reopened.kernel().incarnation, 0u);
+}
+
+TEST(StableStore, TornRecordDegradesMonotonically) {
+  MemStorage mem;
+  StableStore store(mem, "p0");
+  store.open();
+  store.note_delivery(2, 10, 5);
+  store.note_delivery(2, 11, 6);  // the record about to be torn
+  // Tear the LAST append only: arm one torn append, then re-append by
+  // recreating the update after the fault is armed.
+  mem.faults().torn_appends = 1;
+  store.note_delivery(2, 12, 7);
+
+  StableStore reopened(mem, "p0");
+  reopened.open();
+  // Watermarks regressed to the last durable record — lower, never higher.
+  EXPECT_EQ(reopened.kernel().delivered_seq.at(2), 11u);
+  EXPECT_EQ(reopened.kernel().delivered_below, 6u);
+}
+
+TEST(StableStore, FsyncFailureIsCountedNotFatal) {
+  MemStorage mem;
+  StableStore store(mem, "p0");
+  store.open();
+  mem.faults().fsync_failures = 1;
+  store.note_view(3, 0b11);
+  EXPECT_EQ(store.sync_failures(), 1u);
+  store.note_view(4, 0b11);  // subsequent barrier succeeds
+  StableStore reopened(mem, "p0");
+  reopened.open();
+  EXPECT_EQ(reopened.kernel().gid, 4u);
+}
+
+TEST(StableStore, ReservationChunksAmortizeAppends) {
+  MemStorage mem;
+  StableStore store(mem, "p0");
+  store.open();
+  const std::size_t before = store.log_records_since_checkpoint();
+  for (ProposalSeq s = 0; s < 64; ++s) store.reserve_proposal_seq(s, 64);
+  // One reservation record covers the whole chunk.
+  EXPECT_EQ(store.log_records_since_checkpoint(), before + 1);
+  EXPECT_GE(store.kernel().reserved_seq, 64u);
+}
+
+}  // namespace
+}  // namespace tw::store
