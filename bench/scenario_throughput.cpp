@@ -1,0 +1,238 @@
+// Experiment E9 — hot-path throughput and view-change latency, exported as
+// tw-bench-v1 JSON (see bench_json.hpp) for tools/benchdiff.
+//
+// Two scenarios:
+//
+//  * throughput/... — a failure-free 5-node team under a steady proposal
+//    load. Wall-clock msgs/s plus the deterministic per-message costs
+//    (datagrams, wire bytes, heap allocations) that the zero-copy codec
+//    and proposal batching attack. The pool-off / batch-off run is the
+//    pre-optimization baseline wire behavior.
+//  * view_change/... — E2's single-crash recovery latency (p50/p99 over
+//    many seeds, simulated time, fully deterministic), run with batching
+//    off and on to show batching does not slow membership changes.
+//
+// Only msgs_per_sec depends on the host machine; every other metric is
+// deterministic for a given seed set, which is what lets CI diff a fresh
+// run against the committed baseline (ignoring msgs_per_sec).
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
+#include "util/buffer_pool.hpp"
+
+namespace tw::bench {
+namespace {
+
+struct ThroughputKnobs {
+  int n = 5;
+  int max_batch = 1;
+  bool pool = true;
+  int updates = 5000;
+  /// Workload shape, identical for every run so comparisons are fair: one
+  /// proposer emits `burst` proposals back-to-back, bursts rotate through
+  /// the members every `burst_gap` µs (≈ 2000 updates/s by default).
+  int burst = 8;
+  sim::Duration burst_gap = 4000;
+  std::uint64_t seed = 42;
+};
+
+bool run_throughput(const ThroughputKnobs& k, BenchRun& out) {
+  util::BufferPool& pool = util::BufferPool::local();
+  pool.set_enabled(k.pool);
+  gms::HarnessConfig cfg = default_config(k.n, k.seed);
+  cfg.node.max_batch = k.max_batch;
+  gms::SimHarness h(cfg);
+  if (form_full_group(h) < 0) {
+    pool.set_enabled(true);
+    return false;
+  }
+
+  const auto& net = h.cluster().network().stats();
+  const std::uint64_t sent0 = net.total.sent;
+  const std::uint64_t bytes0 = net.total.bytes_sent;
+  const std::size_t delivered0 = h.delivered(0).size();
+  pool.reset_stats();
+
+  // Bursts of `burst` proposals from one member at a time, rotating through
+  // the team — the shape proposal batching is built for, and the same
+  // stream whether batching is on or off.
+  auto& sim = h.cluster().simulator();
+  const sim::SimTime start = h.now();
+  for (int i = 0; i < k.updates; ++i) {
+    const int burst_no = i / k.burst;
+    const auto proposer = static_cast<ProcessId>(burst_no % k.n);
+    const auto tag = static_cast<std::uint64_t>(i) + 1;
+    sim.at(start + (static_cast<sim::SimTime>(burst_no) + 1) * k.burst_gap,
+           [&h, proposer, tag] { h.propose(proposer, tag); });
+  }
+  const sim::SimTime load_end =
+      start +
+      (static_cast<sim::SimTime>(k.updates / k.burst) + 2) * k.burst_gap;
+  // Wall-clock covers the load plus draining every update to delivery (up
+  // to a 20 s simulated-time grace), so a run that falls behind pays for
+  // its backlog in the msgs_per_sec it reports.
+  const auto wall0 = std::chrono::steady_clock::now();
+  h.run_until(load_end);
+  for (int spin = 0; spin < 100; ++spin) {
+    if (h.delivered(0).size() - delivered0 >=
+        static_cast<std::size_t>(k.updates))
+      break;
+    h.run_for(sim::msec(200));
+  }
+  const double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  const auto delivered =
+      static_cast<double>(h.delivered(0).size() - delivered0);
+  const auto datagrams = static_cast<double>(net.total.sent - sent0);
+  const auto bytes = static_cast<double>(net.total.bytes_sent - bytes0);
+  const auto allocs = static_cast<double>(pool.stats().allocs);
+  pool.set_enabled(true);
+  if (delivered <= 0 || wall_sec <= 0) return false;
+
+  out.name = "throughput/n" + std::to_string(k.n) + "/batch" +
+             std::to_string(k.max_batch) + (k.pool ? "/pool" : "/nopool");
+  out.config = {{"n", static_cast<double>(k.n)},
+                {"max_batch", static_cast<double>(k.max_batch)},
+                {"pool", k.pool ? 1.0 : 0.0},
+                {"updates", static_cast<double>(k.updates)},
+                {"burst", static_cast<double>(k.burst)},
+                {"rate_hz", 1e6 * static_cast<double>(k.burst) /
+                                static_cast<double>(k.burst_gap)},
+                {"seed", static_cast<double>(k.seed)}};
+  out.metrics = {{"msgs_per_sec", delivered / wall_sec},
+                 {"undelivered", static_cast<double>(k.updates) - delivered},
+                 {"datagrams_per_msg", datagrams / delivered},
+                 {"bytes_per_msg", bytes / delivered},
+                 {"allocs_per_msg", allocs / delivered}};
+  std::printf(
+      "%-28s msgs/s=%9.0f  datagrams/msg=%5.2f  bytes/msg=%6.1f  "
+      "allocs/msg=%5.3f  undelivered=%.0f\n",
+      out.name.c_str(), delivered / wall_sec, datagrams / delivered,
+      bytes / delivered, allocs / delivered,
+      static_cast<double>(k.updates) - delivered);
+  return true;
+}
+
+struct LatencyKnobs {
+  int n = 5;
+  int max_batch = 1;
+  std::uint64_t seeds = 40;
+};
+
+bool run_latency(const LatencyKnobs& k, BenchRun& out) {
+  util::Samples lat;
+  int failures = 0;
+  for (std::uint64_t seed = 1; seed <= k.seeds; ++seed) {
+    gms::HarnessConfig cfg = default_config(k.n, seed);
+    cfg.node.max_batch = k.max_batch;
+    gms::SimHarness h(cfg);
+    if (form_full_group(h) < 0) {
+      ++failures;
+      continue;
+    }
+    sim::Rng rng(seed * 31);
+    const auto victim = static_cast<ProcessId>(rng.uniform_int(0, k.n - 1));
+    const sim::SimTime crash_at =
+        h.now() + rng.uniform_int(sim::msec(20), sim::msec(400));
+    h.faults().crash_at(crash_at, victim);
+    util::ProcessSet expected =
+        util::ProcessSet::full(static_cast<ProcessId>(k.n));
+    expected.erase(victim);
+    if (!h.run_until_group(expected, crash_at + sim::sec(10))) {
+      ++failures;
+      continue;
+    }
+    const sim::SimTime created = h.cluster().trace_log().first_after(
+        sim::TraceKind::group_created, crash_at);
+    lat.add(ms(static_cast<double>(created - crash_at)));
+  }
+  if (lat.count() == 0) return false;
+
+  out.name = "view_change/n" + std::to_string(k.n) + "/batch" +
+             std::to_string(k.max_batch);
+  out.config = {{"n", static_cast<double>(k.n)},
+                {"max_batch", static_cast<double>(k.max_batch)},
+                {"seeds", static_cast<double>(k.seeds)}};
+  out.metrics = {{"view_change_ms_p50", lat.percentile(0.5)},
+                 {"view_change_ms_p99", lat.percentile(0.99)},
+                 {"view_change_ms_mean", lat.mean()},
+                 {"recovery_failures", static_cast<double>(failures)}};
+  std::printf("%-28s view-change ms: p50=%7.1f p99=%7.1f mean=%7.1f  "
+              "fail=%d/%llu\n",
+              out.name.c_str(), lat.percentile(0.5), lat.percentile(0.99),
+              lat.mean(), failures,
+              static_cast<unsigned long long>(k.seeds));
+  return true;
+}
+
+}  // namespace
+}  // namespace tw::bench
+
+int main(int argc, char** argv) {
+  using namespace tw;
+  using namespace tw::bench;
+  std::string tp_out = "BENCH_throughput.json";
+  std::string lat_out = "BENCH_latency.json";
+  int updates = 20000;
+  std::uint64_t seeds = 40;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--out" && next()) {
+      tp_out = argv[i];
+    } else if (arg == "--latency-out" && next()) {
+      lat_out = argv[i];
+    } else if (arg == "--updates" && next()) {
+      updates = std::atoi(argv[i]);
+    } else if (arg == "--seeds" && next()) {
+      seeds = std::strtoull(argv[i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: scenario_throughput [--out FILE] "
+                   "[--latency-out FILE] [--updates N] [--seeds K]\n");
+      return 2;
+    }
+  }
+  if (updates <= 0 || seeds == 0) return 2;
+
+  bool ok = true;
+  print_header("E9a: failure-free hot-path throughput",
+               "msgs/s is wall-clock; the per-msg costs are deterministic");
+  BenchReport tp{"hot-path-throughput", {}};
+  for (const ThroughputKnobs& k :
+       {ThroughputKnobs{.max_batch = 1, .pool = false, .updates = updates},
+        ThroughputKnobs{.max_batch = 1, .pool = true, .updates = updates},
+        ThroughputKnobs{.max_batch = 8, .pool = true, .updates = updates}}) {
+    BenchRun r;
+    if (run_throughput(k, r))
+      tp.runs.push_back(std::move(r));
+    else
+      ok = false;
+  }
+  if (!tp.write_file(tp_out)) ok = false;
+
+  print_header("E9b: view-change latency with batching off/on",
+               "single random crash per seed; simulated-time latency");
+  BenchReport lat{"view-change-latency", {}};
+  for (const LatencyKnobs& k : {LatencyKnobs{.max_batch = 1, .seeds = seeds},
+                                LatencyKnobs{.max_batch = 8, .seeds = seeds}}) {
+    BenchRun r;
+    if (run_latency(k, r))
+      lat.runs.push_back(std::move(r));
+    else
+      ok = false;
+  }
+  if (!lat.write_file(lat_out)) ok = false;
+
+  std::printf("\nwrote %s and %s%s\n", tp_out.c_str(), lat_out.c_str(),
+              ok ? "" : "  (WITH FAILURES)");
+  return ok ? 0 : 1;
+}

@@ -1,9 +1,11 @@
 #include "bcast/messages.hpp"
 
+#include "util/buffer_pool.hpp"
+
 namespace tw::bcast {
 
 std::vector<std::byte> Decision::encode() const {
-  util::ByteWriter w;
+  util::ByteWriter w(util::BufferPool::local());
   w.u8(net::kind_byte(net::MsgKind::decision));
   w.var_u64(gid);
   w.u64(group.bits());
@@ -31,7 +33,7 @@ Decision Decision::decode(util::ByteReader& r) {
 }
 
 std::vector<std::byte> RetransmitRequest::encode() const {
-  util::ByteWriter w;
+  util::ByteWriter w(util::BufferPool::local());
   w.u8(net::kind_byte(net::MsgKind::retransmit_request));
   w.var_u64(wanted.size());
   for (const auto& pid : wanted) {
@@ -56,9 +58,7 @@ RetransmitRequest RetransmitRequest::decode(util::ByteReader& r) {
   return req;
 }
 
-std::vector<std::byte> encode_proposal(const Proposal& p) {
-  util::ByteWriter w;
-  w.u8(net::kind_byte(net::MsgKind::proposal));
+void encode_proposal_body(util::ByteWriter& w, const Proposal& p) {
   w.u32(p.id.proposer);
   w.var_u64(p.id.seq);
   w.u8(static_cast<std::uint8_t>(p.order));
@@ -67,10 +67,9 @@ std::vector<std::byte> encode_proposal(const Proposal& p) {
   w.var_i64(p.send_ts);
   w.var_u64(p.fifo_floor);
   w.bytes(p.payload);
-  return std::move(w).take();
 }
 
-Proposal decode_proposal(util::ByteReader& r) {
+Proposal decode_proposal_body(util::ByteReader& r) {
   Proposal p;
   p.id.proposer = r.u32();
   p.id.seq = static_cast<ProposalSeq>(r.var_u64());
@@ -83,9 +82,44 @@ Proposal decode_proposal(util::ByteReader& r) {
   p.hdo = r.var_u64();
   p.send_ts = r.var_i64();
   p.fifo_floor = static_cast<ProposalSeq>(r.var_u64());
-  p.payload = r.bytes();
+  const auto payload = r.bytes_view();
+  p.payload.assign(payload.begin(), payload.end());
+  return p;
+}
+
+std::vector<std::byte> encode_proposal(const Proposal& p) {
+  util::ByteWriter w(util::BufferPool::local());
+  w.u8(net::kind_byte(net::MsgKind::proposal));
+  encode_proposal_body(w, p);
+  return std::move(w).take();
+}
+
+Proposal decode_proposal(util::ByteReader& r) {
+  Proposal p = decode_proposal_body(r);
   r.expect_done();
   return p;
+}
+
+std::vector<std::byte> encode_proposal_batch(
+    std::span<const Proposal* const> ps) {
+  if (ps.size() == 1) return encode_proposal(*ps.front());
+  util::ByteWriter w(util::BufferPool::local());
+  w.u8(net::kind_byte(net::MsgKind::proposal_batch));
+  w.var_u64(ps.size());
+  for (const Proposal* p : ps) encode_proposal_body(w, *p);
+  return std::move(w).take();
+}
+
+std::vector<Proposal> decode_proposal_batch(util::ByteReader& r) {
+  const std::uint64_t n = r.var_u64();
+  if (n == 0) throw util::DecodeError("empty proposal batch");
+  if (n > 4096) throw util::DecodeError("proposal batch too large");
+  std::vector<Proposal> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    out.push_back(decode_proposal_body(r));
+  r.expect_done();
+  return out;
 }
 
 }  // namespace tw::bcast

@@ -41,4 +41,17 @@ struct RetransmitRequest {
 [[nodiscard]] std::vector<std::byte> encode_proposal(const Proposal& p);
 Proposal decode_proposal(util::ByteReader& r);
 
+/// The self-delimiting proposal body (everything after the kind byte) —
+/// shared by the single-proposal message, proposal batches and the
+/// state-transfer proposal list.
+void encode_proposal_body(util::ByteWriter& w, const Proposal& p);
+Proposal decode_proposal_body(util::ByteReader& r);
+
+/// Coalesce several proposals into one datagram. A batch of exactly one is
+/// emitted as a plain `proposal` message, so batch-of-1 is wire-identical
+/// to the unbatched protocol.
+[[nodiscard]] std::vector<std::byte> encode_proposal_batch(
+    std::span<const Proposal* const> ps);
+std::vector<Proposal> decode_proposal_batch(util::ByteReader& r);
+
 }  // namespace tw::bcast

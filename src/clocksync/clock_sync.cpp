@@ -5,6 +5,7 @@
 
 #include "obs/recorder.hpp"
 #include "util/assert.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/logging.hpp"
 
 namespace tw::csync {
@@ -42,7 +43,7 @@ void ClockSync::stop() {
 }
 
 void ClockSync::send_request() {
-  util::ByteWriter w;
+  util::ByteWriter w(util::BufferPool::local());
   w.u8(net::kind_byte(net::MsgKind::clocksync_request));
   w.u32(++round_);
   w.var_i64(ep_.hw_now());
@@ -73,7 +74,7 @@ void ClockSync::on_datagram(ProcessId from, net::MsgKind kind,
     case net::MsgKind::clocksync_request: {
       const std::uint32_t round = body.u32();
       const sim::ClockTime t1 = body.var_i64();
-      util::ByteWriter w;
+      util::ByteWriter w(util::BufferPool::local());
       w.u8(net::kind_byte(net::MsgKind::clocksync_reply));
       w.u32(round);
       w.var_i64(t1);

@@ -22,6 +22,18 @@ struct NodeConfig {
   /// A decider holding fresh proposals sends its decision after this
   /// (short) batching delay instead of waiting out decision_delay.
   sim::Duration proposal_batch_delay = sim::msec(2);
+  /// Proposer-side batching: while a member, up to this many own proposals
+  /// are coalesced into one proposal_batch datagram, amortizing the
+  /// header/CRC/per-datagram cost under load. 1 = off (every proposal is
+  /// its own datagram — the classic wire behavior). The decision's oal
+  /// acknowledges all of a batch's proposals collectively, so FIFO and
+  /// fifo_floor semantics are unchanged.
+  int max_batch = 1;
+  /// How long the first queued proposal may wait for its batch to fill
+  /// before being flushed anyway. Keep below proposal_batch_delay so a
+  /// decider's own batch reaches the team ahead of the decision that
+  /// orders it.
+  sim::Duration batch_flush_delay = sim::msec(1);
   /// Release delay Δ for time-ordered delivery: a time-ordered update is
   /// delivered at send_ts + deliver_delay on the synchronized clock.
   /// Should exceed δ + ε so every member has the update by release time.

@@ -1,5 +1,7 @@
 #include "gms/messages.hpp"
 
+#include "util/buffer_pool.hpp"
+
 namespace tw::gms {
 
 void encode_pid_list(util::ByteWriter& w,
@@ -26,7 +28,7 @@ std::vector<bcast::ProposalId> decode_pid_list(util::ByteReader& r) {
 }
 
 std::vector<std::byte> NoDecision::encode() const {
-  util::ByteWriter w;
+  util::ByteWriter w(util::BufferPool::local());
   w.u8(net::kind_byte(net::MsgKind::no_decision));
   w.u32(suspect);
   w.var_u64(gid);
@@ -52,7 +54,7 @@ NoDecision NoDecision::decode(util::ByteReader& r) {
 }
 
 std::vector<std::byte> Join::encode() const {
-  util::ByteWriter w;
+  util::ByteWriter w(util::BufferPool::local());
   w.u8(net::kind_byte(net::MsgKind::join));
   w.var_i64(send_ts);
   w.u64(join_list.bits());
@@ -72,7 +74,7 @@ Join Join::decode(util::ByteReader& r) {
 }
 
 std::vector<std::byte> Reconfiguration::encode() const {
-  util::ByteWriter w;
+  util::ByteWriter w(util::BufferPool::local());
   w.u8(net::kind_byte(net::MsgKind::reconfiguration));
   w.var_i64(send_ts);
   w.u64(recon_list.bits());
@@ -100,17 +102,16 @@ Reconfiguration Reconfiguration::decode(util::ByteReader& r) {
 }
 
 std::vector<std::byte> StateTransfer::encode() const {
-  util::ByteWriter w;
+  util::ByteWriter w(util::BufferPool::local());
   w.u8(net::kind_byte(net::MsgKind::state_transfer));
   w.var_u64(gid);
   w.var_i64(send_ts);
   w.bytes(app_state);
   w.var_u64(proposals.size());
-  for (const auto& p : proposals) {
-    // Re-use the proposal wire format minus its kind byte.
-    const auto bytes = bcast::encode_proposal(p);
-    w.bytes(std::span(bytes).subspan(1));
-  }
+  // Proposal bodies inline (the wire format minus its kind byte): the body
+  // is self-delimiting, so no per-proposal length prefix or staging buffer
+  // is needed.
+  for (const auto& p : proposals) bcast::encode_proposal_body(w, p);
   oal.encode(w);
   w.var_u64(marks.delivered_below);
   encode_pid_list(w, marks.delivered);
@@ -136,11 +137,8 @@ StateTransfer StateTransfer::decode(util::ByteReader& r) {
   if (count > 1 << 20)
     throw util::DecodeError("state transfer too large");
   m.proposals.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const auto blob = r.bytes();
-    util::ByteReader pr(blob);
-    m.proposals.push_back(bcast::decode_proposal(pr));
-  }
+  for (std::uint64_t i = 0; i < count; ++i)
+    m.proposals.push_back(bcast::decode_proposal_body(r));
   m.oal = bcast::Oal::decode(r);
   m.marks.delivered_below = r.var_u64();
   m.marks.delivered = decode_pid_list(r);
@@ -163,7 +161,7 @@ StateTransfer StateTransfer::decode(util::ByteReader& r) {
 }
 
 std::vector<std::byte> RejoinRequest::encode() const {
-  util::ByteWriter w;
+  util::ByteWriter w(util::BufferPool::local());
   w.u8(net::kind_byte(net::MsgKind::rejoin_request));
   w.var_i64(send_ts);
   w.var_u64(incarnation);

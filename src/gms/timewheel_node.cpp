@@ -58,6 +58,8 @@ TimewheelNode::TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg,
             out[prefix + "rejoin_requests_sent"] =
                 stats_.rejoin_requests_sent;
             out[prefix + "rehabilitations"] = stats_.rehabilitations;
+            out[prefix + "proposal_batches_sent"] =
+                stats_.proposal_batches_sent;
             if (store_)
               out[prefix + "store_sync_failures"] = store_->sync_failures();
           });
@@ -91,6 +93,7 @@ void TimewheelNode::full_reset() {
   cancel_timer(delivery_timer_);
   cancel_timer(housekeeping_timer_);
   cancel_timer(retransmit_timer_);
+  cancel_timer(batch_timer_);
   cancel_timer(state_wait_timer_);
 
   state_ = GcState::join;
@@ -105,6 +108,7 @@ void TimewheelNode::full_reset() {
   expected_decider_ = kNoProcess;
   decision_pending_work_ = false;
   pending_proposals_.clear();
+  batch_queue_.clear();
   last_control_sent_.clear();
   for (auto& j : join_infos_) j = JoinInfo{};
   for (auto& r : recon_infos_) r = ReconInfo{};
@@ -334,13 +338,15 @@ void TimewheelNode::on_housekeeping() {
     // unordered ones. (A proposal whose ordering this proposer has already
     // seen is bound, never re-stamped, and thus ages out everywhere else —
     // which is what makes re-ordering after a purge impossible.)
+    std::vector<const bcast::Proposal*> stale;
     for (const bcast::Proposal* p :
          delivery_.stale_unordered_from(self(), *now, cfg_.big_d)) {
       delivery_.restamp_unordered(p->id, *now);
       TW_DEBUG("p" << self() << " rebroadcasts stale " << p->id.proposer
                    << "." << p->id.seq);
-      ep_.broadcast(bcast::encode_proposal(*p));
+      stale.push_back(p);
     }
+    ship_proposals(kNoProcess, stale);
   }
   // Decision-progress watchdog: join/reconfiguration traffic from a
   // non-member keeps the FD's alive surveillance satisfied, but only
@@ -411,6 +417,9 @@ void TimewheelNode::on_datagram(ProcessId from,
         break;
       case net::MsgKind::proposal:
         handle_proposal(from, bcast::decode_proposal(r));
+        break;
+      case net::MsgKind::proposal_batch:
+        handle_proposal_batch(from, bcast::decode_proposal_batch(r));
         break;
       case net::MsgKind::no_decision:
         handle_no_decision(from, NoDecision::decode(r));
@@ -862,6 +871,10 @@ std::vector<ProcessId> TimewheelNode::try_integrate_joiners(
 void TimewheelNode::send_decision(sim::ClockTime now) {
   if (!i_am_decider_ || !in_group()) return;
   decision_pending_work_ = false;
+  // A decider's own half-filled batch must reach the team no later than
+  // the decision that orders it, or members would see oal entries for
+  // proposals they hold no payload for and turn to retransmits.
+  flush_proposal_batch();
 
   bcast::Oal oal = delivery_.view(now);
 
@@ -1008,7 +1021,10 @@ ProposalSeq TimewheelNode::propose(std::vector<std::byte> payload,
     delivery_.note_proposal(p, *now);
     ++stats_.proposals_sent;
     ep_.trace(TraceKind::proposal_sent, p.id.seq);
-    ep_.broadcast(bcast::encode_proposal(p));
+    if (cfg_.max_batch > 1)
+      queue_for_batch(p.id);
+    else
+      ep_.broadcast(bcast::encode_proposal(p));
     run_delivery(*now);
     if (i_am_decider_) {
       decision_pending_work_ = true;
@@ -1021,15 +1037,62 @@ ProposalSeq TimewheelNode::propose(std::vector<std::byte> payload,
 }
 
 void TimewheelNode::flush_pending_proposals(sim::ClockTime now) {
+  std::vector<const bcast::Proposal*> batch;
+  batch.reserve(pending_proposals_.size());
   while (!pending_proposals_.empty()) {
     bcast::Proposal p = std::move(pending_proposals_.front());
     pending_proposals_.pop_front();
     p.hdo = delivery_.highest_known_ordinal();
     p.send_ts = now;
+    const bcast::ProposalId id = p.id;
     delivery_.note_proposal(p, now);
     ++stats_.proposals_sent;
-    ep_.trace(TraceKind::proposal_sent, p.id.seq);
-    ep_.broadcast(bcast::encode_proposal(p));
+    ep_.trace(TraceKind::proposal_sent, id.seq);
+    if (const bcast::Proposal* held = delivery_.get(id))
+      batch.push_back(held);
+  }
+  ship_proposals(kNoProcess, batch);
+}
+
+void TimewheelNode::queue_for_batch(const bcast::ProposalId& id) {
+  batch_queue_.push_back(id);
+  if (static_cast<int>(batch_queue_.size()) >= cfg_.max_batch) {
+    flush_proposal_batch();
+    return;
+  }
+  if (batch_timer_ == net::kNoTimer)
+    batch_timer_ = ep_.set_timer_after(cfg_.batch_flush_delay, [this] {
+      batch_timer_ = net::kNoTimer;
+      flush_proposal_batch();
+    });
+}
+
+void TimewheelNode::flush_proposal_batch() {
+  cancel_timer(batch_timer_);
+  if (batch_queue_.empty()) return;
+  std::vector<const bcast::Proposal*> batch;
+  batch.reserve(batch_queue_.size());
+  for (const auto& id : batch_queue_)
+    // A queued id can be gone if a view change purged the engine between
+    // queueing and flushing; the proposal is then moot.
+    if (const bcast::Proposal* p = delivery_.get(id)) batch.push_back(p);
+  batch_queue_.clear();
+  ship_proposals(kNoProcess, batch);
+}
+
+void TimewheelNode::ship_proposals(
+    ProcessId to, const std::vector<const bcast::Proposal*>& ps) {
+  const auto chunk =
+      static_cast<std::size_t>(cfg_.max_batch > 1 ? cfg_.max_batch : 1);
+  for (std::size_t i = 0; i < ps.size(); i += chunk) {
+    const std::span<const bcast::Proposal* const> part(
+        ps.data() + i, std::min(chunk, ps.size() - i));
+    if (part.size() > 1) ++stats_.proposal_batches_sent;
+    auto bytes = bcast::encode_proposal_batch(part);
+    if (to == kNoProcess)
+      ep_.broadcast(std::move(bytes));
+    else
+      ep_.send(to, std::move(bytes));
   }
 }
 
@@ -1046,12 +1109,34 @@ void TimewheelNode::handle_proposal(ProcessId from, bcast::Proposal p) {
   }
 }
 
+void TimewheelNode::handle_proposal_batch(ProcessId from,
+                                          std::vector<bcast::Proposal> ps) {
+  const auto now_opt = sync_now();
+  if (!now_opt) return;
+  bool fresh = false;
+  for (auto& p : ps) {
+    if (p.id.proposer != from && delivery_.have(p.id))
+      continue;  // relayed retransmission of something we hold
+    delivery_.note_proposal(p, *now_opt);
+    fresh = true;
+  }
+  if (!fresh) return;
+  // One delivery pass and (if decider) one decision schedule for the whole
+  // batch — this is where the receive-side amortization happens.
+  run_delivery(*now_opt);
+  if (i_am_decider_) {
+    decision_pending_work_ = true;
+    schedule_decision(cfg_.proposal_batch_delay);
+  }
+}
+
 void TimewheelNode::handle_retransmit_request(ProcessId from,
                                               bcast::RetransmitRequest rq) {
-  for (const auto& pid : rq.wanted) {
-    if (const bcast::Proposal* p = delivery_.get(pid))
-      ep_.send(from, bcast::encode_proposal(*p));
-  }
+  std::vector<const bcast::Proposal*> have;
+  have.reserve(rq.wanted.size());
+  for (const auto& pid : rq.wanted)
+    if (const bcast::Proposal* p = delivery_.get(pid)) have.push_back(p);
+  ship_proposals(from, have);
 }
 
 void TimewheelNode::request_missing(sim::ClockTime now, ProcessId hint) {

@@ -61,6 +61,7 @@ struct NodeStats {
   std::uint64_t exclusions = 0;             ///< times we were voted out
   std::uint64_t rejoin_requests_sent = 0;   ///< zombie-rehab solicitations
   std::uint64_t rehabilitations = 0;        ///< recoveries re-baselined
+  std::uint64_t proposal_batches_sent = 0;  ///< multi-proposal datagrams
 };
 
 class TimewheelNode final : public net::Handler {
@@ -143,6 +144,7 @@ class TimewheelNode final : public net::Handler {
   // --- message handlers ----------------------------------------------------
   void handle_decision(ProcessId from, bcast::Decision d);
   void handle_proposal(ProcessId from, bcast::Proposal p);
+  void handle_proposal_batch(ProcessId from, std::vector<bcast::Proposal> ps);
   void handle_no_decision(ProcessId from, NoDecision nd);
   void handle_join(ProcessId from, Join j);
   void handle_reconfiguration(ProcessId from, Reconfiguration r);
@@ -224,6 +226,16 @@ class TimewheelNode final : public net::Handler {
   void flush_pending_proposals(sim::ClockTime now);
   void request_missing(sim::ClockTime now, ProcessId hint);
 
+  // --- proposer-side batching (cfg_.max_batch > 1) ---------------------
+  /// Queue an own proposal for the next batch; flushes once the batch is
+  /// full, or after batch_flush_delay.
+  void queue_for_batch(const bcast::ProposalId& id);
+  void flush_proposal_batch();
+  /// Ship proposals in max_batch-sized datagrams; `to` == kNoProcess
+  /// broadcasts, anything else unicasts (retransmit answers).
+  void ship_proposals(ProcessId to,
+                      const std::vector<const bcast::Proposal*>& ps);
+
   void trace_state_change(GcState from, GcState to);
 
   // ---------------------------------------------------------------------
@@ -266,6 +278,9 @@ class TimewheelNode final : public net::Handler {
   /// its fifo_floor so deciders never wait on the pre-restart gap.
   ProposalSeq seq_floor_ = 0;
   std::deque<bcast::Proposal> pending_proposals_;  ///< queued until member
+  /// Own proposals noted in the delivery engine but not yet on the wire,
+  /// awaiting a full batch or the flush timer (empty when max_batch <= 1).
+  std::vector<bcast::ProposalId> batch_queue_;
 
   // Last control message we broadcast (for wrong-suspicion resends).
   std::vector<std::byte> last_control_sent_;
@@ -340,6 +355,7 @@ class TimewheelNode final : public net::Handler {
   net::TimerId delivery_timer_ = net::kNoTimer;
   net::TimerId housekeeping_timer_ = net::kNoTimer;
   net::TimerId retransmit_timer_ = net::kNoTimer;
+  net::TimerId batch_timer_ = net::kNoTimer;
   ProcessId retransmit_hint_ = kNoProcess;
 };
 

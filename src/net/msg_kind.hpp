@@ -18,6 +18,7 @@ enum class MsgKind : std::uint8_t {
   proposal = 8,
   decision = 9,
   retransmit_request = 10,
+  proposal_batch = 11,  ///< several proposals coalesced into one datagram
 
   // Timewheel group membership (tw::gms).
   no_decision = 16,
@@ -46,6 +47,7 @@ enum class MsgKind : std::uint8_t {
     case MsgKind::proposal: return "proposal";
     case MsgKind::decision: return "decision";
     case MsgKind::retransmit_request: return "retransmit_request";
+    case MsgKind::proposal_batch: return "proposal_batch";
     case MsgKind::no_decision: return "no_decision";
     case MsgKind::join: return "join";
     case MsgKind::reconfiguration: return "reconfiguration";

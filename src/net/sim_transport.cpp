@@ -4,12 +4,13 @@
 
 #include "net/msg_kind.hpp"
 #include "obs/timeline.hpp"
+#include "util/buffer_pool.hpp"
 
 namespace tw::net {
 
 namespace {
 
-std::uint8_t kind_byte(const std::vector<std::byte>& data) {
+std::uint8_t kind_byte(std::span<const std::byte> data) {
   return data.empty() ? 0xff : static_cast<std::uint8_t>(data[0]);
 }
 
@@ -130,9 +131,26 @@ SimCluster::SimCluster(const SimClusterConfig& cfg)
         for (std::size_t p = 0; p < s.sent_by_process.size(); ++p)
           out["net.p" + std::to_string(p) + ".sent"] = s.sent_by_process[p];
       });
+  // The counting-allocator hook of the zero-copy codec: snapshots expose
+  // this thread's buffer-pool traffic, so benches can report allocs/msg.
+  // (Stats are per-thread and process-cumulative; diff two snapshots to
+  // meter one run.)
+  codec_stats_source_ =
+      registry_.register_source([](std::map<std::string,
+                                            std::uint64_t>& out) {
+        const util::BufferPool::Stats& s = util::BufferPool::local().stats();
+        out["codec.acquires"] = s.acquires;
+        out["codec.reuses"] = s.reuses;
+        out["codec.allocs"] = s.allocs;
+        out["codec.releases"] = s.releases;
+        out["codec.discards"] = s.discards;
+      });
 }
 
-SimCluster::~SimCluster() { registry_.unregister_source(net_stats_source_); }
+SimCluster::~SimCluster() {
+  registry_.unregister_source(net_stats_source_);
+  registry_.unregister_source(codec_stats_source_);
+}
 
 std::vector<obs::Event> SimCluster::merged_trace() const {
   std::vector<obs::Event> all;
@@ -148,7 +166,8 @@ void SimCluster::bind(ProcessId p, Handler& handler) {
   procs_.install(
       p, sim::ProcessService::Callbacks{
              [&handler] { handler.on_start(); },
-             [&handler, &rec](ProcessId from, std::vector<std::byte> payload) {
+             [&handler, &rec](ProcessId from,
+                              std::span<const std::byte> payload) {
                rec.emit(obs::EvKind::dgram_recv, kind_byte(payload), from,
                         payload.size());
                handler.on_datagram(from, payload);

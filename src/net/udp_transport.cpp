@@ -12,6 +12,7 @@
 
 #include "obs/timeline.hpp"
 #include "util/assert.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/bytes.hpp"
 #include "util/crc32.hpp"
 #include "util/logging.hpp"
@@ -74,15 +75,15 @@ sim::ClockTime UdpEndpoint::hw_now() const {
 
 std::vector<std::byte> UdpEndpoint::frame(
     std::span<const std::byte> payload) const {
-  util::ByteWriter body;
-  body.u32(id_);
-  util::ByteWriter out;
-  std::vector<std::byte> rest = std::move(body).take();
-  rest.insert(rest.end(), payload.begin(), payload.end());
-  out.u32(util::crc32c(rest));
-  std::vector<std::byte> framed = std::move(out).take();
-  framed.insert(framed.end(), rest.begin(), rest.end());
-  return framed;
+  // Single pooled buffer, CRC patched in place: a warmed-up endpoint
+  // frames without any heap allocation or intermediate copy.
+  util::ByteWriter w(util::BufferPool::local());
+  w.reserve(8 + payload.size());
+  w.u32(0);  // CRC placeholder
+  w.u32(id_);
+  w.raw(payload);
+  w.patch_u32(0, util::crc32c(w.view().subspan(4)));
+  return std::move(w).take();
 }
 
 void UdpEndpoint::send_raw(ProcessId to, const std::vector<std::byte>& f) {
@@ -114,13 +115,20 @@ void UdpEndpoint::send_raw(ProcessId to, const std::vector<std::byte>& f) {
 }
 
 void UdpEndpoint::broadcast(std::vector<std::byte> data) {
-  const auto f = frame(data);
+  auto f = frame(data);
   for (ProcessId to = 0; to < static_cast<ProcessId>(team_size()); ++to)
     if (to != id_) send_raw(to, f);
+  // Both the frame and the caller's encode buffer go back to this loop
+  // thread's pool for the next message.
+  util::BufferPool::local().release(std::move(f));
+  util::BufferPool::local().release(std::move(data));
 }
 
 void UdpEndpoint::send(ProcessId to, std::vector<std::byte> data) {
-  send_raw(to, frame(data));
+  auto f = frame(data);
+  send_raw(to, f);
+  util::BufferPool::local().release(std::move(f));
+  util::BufferPool::local().release(std::move(data));
 }
 
 TimerId UdpEndpoint::set_timer_at_hw(sim::ClockTime target,

@@ -1,7 +1,9 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "util/buffer_pool.hpp"
 #include "util/crc32.hpp"
 
 namespace tw::sim {
@@ -9,6 +11,19 @@ namespace tw::sim {
 namespace {
 std::uint8_t kind_of(const std::vector<std::byte>& payload) {
   return payload.empty() ? 0xff : static_cast<std::uint8_t>(payload[0]);
+}
+
+/// Wrap a sender's buffer for sharing across receivers; when the last
+/// in-flight reference dies the buffer's capacity goes back to the codec
+/// pool (the simulator is single-threaded, so the deleter runs on the
+/// thread that owns the pool).
+DatagramNetwork::Payload make_payload(std::vector<std::byte>&& bytes) {
+  auto* raw = new std::vector<std::byte>(std::move(bytes));
+  return DatagramNetwork::Payload(raw, [](const std::vector<std::byte>* p) {
+    auto* owned = const_cast<std::vector<std::byte>*>(p);
+    util::BufferPool::local().release(std::move(*owned));
+    delete owned;
+  });
 }
 }  // namespace
 
@@ -85,71 +100,72 @@ DatagramNetwork::Rule* DatagramNetwork::match_rule(ProcessId from,
 }
 
 void DatagramNetwork::schedule_delivery(ProcessId from, ProcessId to,
-                                        std::vector<std::byte> payload,
-                                        Duration delay, bool corrupt) {
-  const std::uint8_t kind = kind_of(payload);
+                                        Payload payload, Duration delay,
+                                        bool corrupt) {
+  const std::uint8_t kind = kind_of(*payload);
   auto& kc = stats_.by_kind[kind];
   if (delay > delays_.delta) {
     ++stats_.total.late;
     ++kc.late;
   }
-  if (corrupt && !payload.empty()) {
-    // Flip one byte with a nonzero XOR: an error burst of < 32 bits, which
-    // CRC-32C is guaranteed to detect — corruption degrades to omission.
-    const std::uint32_t expected = util::crc32c(payload);
-    const auto pos = static_cast<std::size_t>(
-        sim_.rng().uniform_int(0, static_cast<std::int64_t>(payload.size()) -
-                                      1));
-    payload[pos] ^= static_cast<std::byte>(sim_.rng().uniform_int(1, 255));
+  if (corrupt && !payload->empty()) {
+    // Corruption is the one case that must copy: the other in-flight
+    // references to this buffer deliver intact bytes. Flip one byte with a
+    // nonzero XOR: an error burst of < 32 bits, which CRC-32C is
+    // guaranteed to detect — corruption degrades to omission.
+    const std::uint32_t expected = util::crc32c(*payload);
+    auto damaged = std::make_shared<std::vector<std::byte>>(*payload);
+    const auto pos = static_cast<std::size_t>(sim_.rng().uniform_int(
+        0, static_cast<std::int64_t>(damaged->size()) - 1));
+    (*damaged)[pos] ^= static_cast<std::byte>(sim_.rng().uniform_int(1, 255));
     ++stats_.total.corrupted;
     ++kc.corrupted;
-    sim_.at(sim_.now() + delay,
-            [this, from, to, expected, payload = std::move(payload)]() mutable {
-              auto& c = stats_.by_kind[kind_of(payload)];
-              if (util::crc32c(payload) != expected) {
-                ++stats_.total.dropped_corrupt;
-                ++c.dropped_corrupt;
-                if (drop_hook_)
-                  drop_hook_(from, to, kind_of(payload), DropCause::corrupt,
-                             payload.size());
-                return;  // CRC rejection: never reaches the stack
-              }
-              ++stats_.total.delivered;
-              ++c.delivered;
-              procs_.deliver_datagram(to, from, std::move(payload));
-            });
+    sim_.at(sim_.now() + delay, [this, from, to, expected,
+                                 damaged = std::move(damaged)] {
+      auto& c = stats_.by_kind[kind_of(*damaged)];
+      if (util::crc32c(*damaged) != expected) {
+        ++stats_.total.dropped_corrupt;
+        ++c.dropped_corrupt;
+        if (drop_hook_)
+          drop_hook_(from, to, kind_of(*damaged), DropCause::corrupt,
+                     damaged->size());
+        return;  // CRC rejection: never reaches the stack
+      }
+      ++stats_.total.delivered;
+      ++c.delivered;
+      procs_.deliver_datagram(to, from, std::move(damaged));
+    });
     return;
   }
-  sim_.at(sim_.now() + delay,
-          [this, from, to, payload = std::move(payload)]() mutable {
-            ++stats_.total.delivered;
-            ++stats_.by_kind[kind_of(payload)].delivered;
-            procs_.deliver_datagram(to, from, std::move(payload));
-          });
+  sim_.at(sim_.now() + delay, [this, from, to, payload = std::move(payload)] {
+    ++stats_.total.delivered;
+    ++stats_.by_kind[kind_of(*payload)].delivered;
+    procs_.deliver_datagram(to, from, payload);
+  });
 }
 
 void DatagramNetwork::transmit(ProcessId from, ProcessId to,
-                               const std::vector<std::byte>& payload) {
-  const std::uint8_t kind = kind_of(payload);
+                               const Payload& payload) {
+  const std::uint8_t kind = kind_of(*payload);
   auto& kc = stats_.by_kind[kind];
   ++stats_.total.sent;
   ++kc.sent;
-  stats_.total.bytes_sent += payload.size();
-  kc.bytes_sent += payload.size();
+  stats_.total.bytes_sent += payload->size();
+  kc.bytes_sent += payload->size();
   ++stats_.sent_by_process[from];
 
   if (!procs_.is_up(to)) {
     ++stats_.total.dropped_crashed;
     ++kc.dropped_crashed;
     if (drop_hook_)
-      drop_hook_(from, to, kind, DropCause::crashed, payload.size());
+      drop_hook_(from, to, kind, DropCause::crashed, payload->size());
     return;
   }
   if (!link_up(from, to)) {
     ++stats_.total.dropped_link;
     ++kc.dropped_link;
     if (drop_hook_)
-      drop_hook_(from, to, kind, DropCause::link, payload.size());
+      drop_hook_(from, to, kind, DropCause::link, payload->size());
     return;
   }
   Duration delay = 0;
@@ -161,7 +177,7 @@ void DatagramNetwork::transmit(ProcessId from, ProcessId to,
         ++stats_.total.dropped_rule;
         ++kc.dropped_rule;
         if (drop_hook_)
-          drop_hook_(from, to, kind, DropCause::rule, payload.size());
+          drop_hook_(from, to, kind, DropCause::rule, payload->size());
         return;
       case RuleAction::delay:
         delay = delays_.delta + rule->extra_delay;  // forced perf failure
@@ -180,7 +196,7 @@ void DatagramNetwork::transmit(ProcessId from, ProcessId to,
       ++stats_.total.dropped_loss;
       ++kc.dropped_loss;
       if (drop_hook_)
-        drop_hook_(from, to, kind, DropCause::loss, payload.size());
+        drop_hook_(from, to, kind, DropCause::loss, payload->size());
       return;
     }
     delay = delays_.sample(sim_.rng());
@@ -211,15 +227,16 @@ void DatagramNetwork::transmit(ProcessId from, ProcessId to,
 
 void DatagramNetwork::broadcast(ProcessId from,
                                 std::vector<std::byte> payload) {
+  const Payload shared = make_payload(std::move(payload));
   const auto n = static_cast<ProcessId>(procs_.size());
   for (ProcessId to = 0; to < n; ++to)
-    if (to != from) transmit(from, to, payload);
+    if (to != from) transmit(from, to, shared);
 }
 
 void DatagramNetwork::send(ProcessId from, ProcessId to,
                            std::vector<std::byte> payload) {
   TW_ASSERT(to < static_cast<ProcessId>(procs_.size()) && to != from);
-  transmit(from, to, payload);
+  transmit(from, to, make_payload(std::move(payload)));
 }
 
 }  // namespace tw::sim

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/message_stats.hpp"
@@ -44,6 +45,12 @@ class DatagramNetwork {
  public:
   DatagramNetwork(Simulator& simulator, ProcessService& procs,
                   DelayModel delays);
+
+  /// One payload buffer is shared (refcounted) across every receiver of a
+  /// broadcast and every duplicated in-flight copy — the network never
+  /// copies bytes except to corrupt them. The deleter returns the buffer
+  /// to the thread's codec BufferPool once the last delivery consumed it.
+  using Payload = std::shared_ptr<const std::vector<std::byte>>;
 
   /// Called once per discarded datagram with (from, to, kind tag, cause,
   /// payload bytes); lets the transport layer trace drops without the
@@ -114,12 +121,10 @@ class DatagramNetwork {
     Duration extra_delay;  ///< delay action: deliver at δ + extra
   };
 
-  void transmit(ProcessId from, ProcessId to,
-                const std::vector<std::byte>& payload);
+  void transmit(ProcessId from, ProcessId to, const Payload& payload);
   /// Schedule one in-flight copy; corrupts it first when asked to.
-  void schedule_delivery(ProcessId from, ProcessId to,
-                         std::vector<std::byte> payload, Duration delay,
-                         bool corrupt);
+  void schedule_delivery(ProcessId from, ProcessId to, Payload payload,
+                         Duration delay, bool corrupt);
   [[nodiscard]] bool link_up(ProcessId from, ProcessId to) const;
   /// Returns pointer to a matching armed rule, consuming one count.
   Rule* match_rule(ProcessId from, ProcessId to, std::uint8_t kind);

@@ -107,13 +107,20 @@ EventId ProcessService::react(ProcessId p, SimTime earliest,
   });
 }
 
+void ProcessService::deliver_datagram(
+    ProcessId to, ProcessId from,
+    std::shared_ptr<const std::vector<std::byte>> payload) {
+  react(to, sim_.now(), [this, to, from, payload = std::move(payload)] {
+    if (procs_[to].cb.on_datagram)
+      procs_[to].cb.on_datagram(from, std::span<const std::byte>(*payload));
+  });
+}
+
 void ProcessService::deliver_datagram(ProcessId to, ProcessId from,
                                       std::vector<std::byte> payload) {
-  react(to, sim_.now(),
-        [this, to, from, payload = std::move(payload)]() mutable {
-          if (procs_[to].cb.on_datagram)
-            procs_[to].cb.on_datagram(from, std::move(payload));
-        });
+  deliver_datagram(
+      to, from,
+      std::make_shared<const std::vector<std::byte>>(std::move(payload)));
 }
 
 EventId ProcessService::set_timer_at_hw(ProcessId p, ClockTime target,

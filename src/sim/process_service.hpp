@@ -9,6 +9,8 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/hardware_clock.hpp"
@@ -33,7 +35,10 @@ class ProcessService {
  public:
   struct Callbacks {
     std::function<void()> on_start;  ///< initial start and every recovery
-    std::function<void(ProcessId from, std::vector<std::byte>)> on_datagram;
+    /// The span aliases a delivery buffer owned by the service for the
+    /// duration of the call (receivers of one broadcast share it).
+    std::function<void(ProcessId from, std::span<const std::byte>)>
+        on_datagram;
   };
 
   /// Creates n processes with hardware clocks whose drift is uniform in
@@ -77,7 +82,13 @@ class ProcessService {
   void clock_set_drift(ProcessId p, double drift);
 
   // --- trigger delivery ----------------------------------------------
-  /// Deliver a datagram to p (called by the network at receive time).
+  /// Deliver a datagram to p (called by the network at receive time). The
+  /// shared buffer is held until p's reaction fires; receivers of the same
+  /// broadcast all alias one buffer — no per-receiver copies.
+  void deliver_datagram(ProcessId to, ProcessId from,
+                        std::shared_ptr<const std::vector<std::byte>> payload);
+
+  /// Convenience for tests/one-off injections: wraps the bytes.
   void deliver_datagram(ProcessId to, ProcessId from,
                         std::vector<std::byte> payload);
 

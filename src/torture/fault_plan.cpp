@@ -346,6 +346,7 @@ gms::HarnessConfig harness_config(const FaultPlan& plan) {
   cfg.seed = plan.seed;
   cfg.delays.loss_prob = plan.cfg.loss_prob;
   cfg.delays.late_prob = plan.cfg.late_prob;
+  cfg.node.max_batch = plan.cfg.max_batch;
   return cfg;
 }
 
@@ -437,7 +438,7 @@ std::string plan_to_string(const FaultPlan& plan) {
      << c.model.corrupt_prob << "\nfault_start " << c.fault_start
      << "\nfault_end " << c.fault_end << "\nsettle " << c.settle
      << "\nquiet " << c.quiet_tail << "\nrate " << c.workload_rate_hz
-     << "\n";
+     << "\nbatch " << c.max_batch << "\n";
   for (const FaultOp& op : plan.ops) {
     os << "op " << fault_type_name(op.type) << ' ' << op.at << ' '
        << static_cast<std::int64_t>(op.p) << ' '
@@ -493,6 +494,9 @@ bool plan_from_string(const std::string& text, FaultPlan& out) {
       ls >> plan.cfg.quiet_tail;
     } else if (key == "rate") {
       ls >> plan.cfg.workload_rate_hz;
+    } else if (key == "batch") {
+      // Optional: dumps from before proposal batching default to 1.
+      ls >> plan.cfg.max_batch;
     } else if (key == "op") {
       std::string type_name;
       std::int64_t p = 0;

@@ -99,6 +99,11 @@ struct TortureConfig {
 
   double workload_rate_hz = 15.0;           ///< proposal rate during faults
 
+  /// NodeConfig::max_batch for every node in the run — sweeping with
+  /// max_batch > 1 torture-verifies that proposal batching preserves the
+  /// §3 invariants under every fault family.
+  int max_batch = 1;
+
   [[nodiscard]] sim::SimTime deadline() const { return fault_end + settle; }
 };
 

@@ -1,0 +1,35 @@
+#include "util/buffer_pool.hpp"
+
+#include <utility>
+
+namespace tw::util {
+
+std::vector<std::byte> BufferPool::acquire() {
+  ++stats_.acquires;
+  if (enabled_ && !free_.empty()) {
+    std::vector<std::byte> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();  // keeps capacity
+    ++stats_.reuses;
+    return buf;
+  }
+  return {};
+}
+
+void BufferPool::release(std::vector<std::byte>&& buf) {
+  ++stats_.releases;
+  if (!enabled_ || free_.size() >= kMaxFree ||
+      buf.capacity() > kMaxRetainBytes || buf.capacity() == 0) {
+    ++stats_.discards;
+    return;  // dropping `buf` frees it
+  }
+  buf.clear();
+  free_.push_back(std::move(buf));
+}
+
+BufferPool& BufferPool::local() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+}  // namespace tw::util

@@ -2,7 +2,27 @@
 
 #include <cstring>
 
+#include "util/assert.hpp"
+#include "util/buffer_pool.hpp"
+
 namespace tw::util {
+
+ByteWriter::ByteWriter(BufferPool& pool)
+    : buf_(pool.acquire()), pool_(&pool), acquired_cap_(buf_.capacity()) {}
+
+ByteWriter::~ByteWriter() {
+  if (pool_ == nullptr) return;
+  if (buf_.capacity() > acquired_cap_) pool_->note_alloc();
+  pool_->release(std::move(buf_));
+}
+
+std::vector<std::byte> ByteWriter::take() && {
+  if (pool_ != nullptr) {
+    if (buf_.capacity() > acquired_cap_) pool_->note_alloc();
+    pool_ = nullptr;  // consumer owns the buffer now
+  }
+  return std::move(buf_);
+}
 
 void ByteWriter::u16(std::uint16_t v) {
   u8(static_cast<std::uint8_t>(v & 0xff));
@@ -41,11 +61,22 @@ void ByteWriter::var_i64(std::int64_t v) {
 
 void ByteWriter::bytes(std::span<const std::byte> data) {
   var_u64(data.size());
+  raw(data);
+}
+
+void ByteWriter::raw(std::span<const std::byte> data) {
   buf_.insert(buf_.end(), data.begin(), data.end());
 }
 
 void ByteWriter::str(std::string_view s) {
   bytes(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+void ByteWriter::patch_u32(std::size_t pos, std::uint32_t v) {
+  TW_ASSERT_MSG(pos + 4 <= buf_.size(), "patch_u32 out of range");
+  for (int i = 0; i < 4; ++i)
+    buf_[pos + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((v >> (8 * i)) & 0xff);
 }
 
 void ByteReader::need(std::size_t n) const {
@@ -115,6 +146,14 @@ std::vector<std::byte> ByteReader::bytes() {
   std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
                              data_.begin() +
                                  static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::span<const std::byte> ByteReader::bytes_view() {
+  const std::uint64_t n = var_u64();
+  need(n);
+  const auto out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
 }

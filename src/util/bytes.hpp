@@ -22,9 +22,19 @@ class DecodeError : public std::runtime_error {
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
 };
 
+class BufferPool;
+
 class ByteWriter {
  public:
   ByteWriter() = default;
+  /// Pool-backed writer: starts from a reused buffer (capacity already
+  /// warm, so steady-state encoding allocates nothing). If take() is never
+  /// called the buffer returns to the pool on destruction; after take()
+  /// the consumer owns it and should release() it back when done.
+  explicit ByteWriter(BufferPool& pool);
+  ~ByteWriter();
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
 
   void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
   void u16(std::uint16_t v);
@@ -42,14 +52,25 @@ class ByteWriter {
 
   /// Length-prefixed byte blob.
   void bytes(std::span<const std::byte> data);
+  /// Raw bytes, no length prefix (framing / self-delimiting payloads).
+  void raw(std::span<const std::byte> data);
   void str(std::string_view s);
 
+  /// Overwrite 4 already-written bytes at `pos` (little-endian) — lets a
+  /// framer reserve space for a checksum and patch it after the payload,
+  /// instead of assembling the frame from intermediate buffers.
+  void patch_u32(std::size_t pos, std::uint32_t v);
+
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   [[nodiscard]] std::span<const std::byte> view() const { return buf_; }
-  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buf_); }
+  [[nodiscard]] std::vector<std::byte> take() &&;
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
 
  private:
   std::vector<std::byte> buf_;
+  BufferPool* pool_ = nullptr;     ///< nullptr: plain owning writer
+  std::size_t acquired_cap_ = 0;   ///< capacity when acquired (grow detect)
 };
 
 class ByteReader {
@@ -66,6 +87,9 @@ class ByteReader {
   std::int64_t var_i64();
   bool boolean();
   std::vector<std::byte> bytes();
+  /// Like bytes(), but a view into the underlying buffer — no copy. Only
+  /// valid while the buffer the reader was constructed over is alive.
+  std::span<const std::byte> bytes_view();
   std::string str();
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }

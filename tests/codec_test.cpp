@@ -1,0 +1,253 @@
+// Zero-copy codec tests: the buffer pool's freelist accounting, the pooled
+// ByteWriter's acquire/grow/release lifecycle, patch_u32 in-place framing,
+// the reader's no-copy bytes_view, and the proposal-batch wire format —
+// including the batch-of-1 ≡ plain-proposal compatibility guarantee and
+// decode robustness against truncation at every byte boundary.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "bcast/messages.hpp"
+#include "net/msg_kind.hpp"
+#include "sim/random.hpp"
+#include "util/buffer_pool.hpp"
+#include "util/bytes.hpp"
+
+namespace tw {
+namespace {
+
+using util::BufferPool;
+using util::ByteReader;
+using util::ByteWriter;
+using util::DecodeError;
+
+TEST(BufferPool, AcquireReleaseReuseCycle) {
+  BufferPool pool;
+  {
+    ByteWriter w(pool);
+    w.u64(0x1122334455667788ULL);
+  }  // destructor returns the (grown) buffer to the pool
+  EXPECT_EQ(pool.stats().acquires, 1u);
+  EXPECT_EQ(pool.stats().reuses, 0u);
+  EXPECT_EQ(pool.stats().allocs, 1u);  // first buffer had to grow from 0
+  EXPECT_EQ(pool.stats().releases, 1u);
+  EXPECT_EQ(pool.stats().discards, 0u);
+
+  {
+    ByteWriter w(pool);
+    w.u64(42);  // fits in the reused capacity: no heap allocation
+    std::vector<std::byte> buf = std::move(w).take();
+    EXPECT_EQ(buf.size(), 8u);
+    pool.release(std::move(buf));
+  }
+  EXPECT_EQ(pool.stats().acquires, 2u);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_EQ(pool.stats().allocs, 1u);  // steady state: still just the one
+  EXPECT_EQ(pool.stats().releases, 2u);
+}
+
+TEST(BufferPool, DisabledPoolNeverReusesAndAlwaysDiscards) {
+  BufferPool pool;
+  pool.set_enabled(false);
+  std::vector<std::byte> buf(16);
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.stats().discards, 1u);
+  {
+    ByteWriter w(pool);
+    w.u32(7);
+  }
+  EXPECT_EQ(pool.stats().reuses, 0u);
+  EXPECT_EQ(pool.stats().discards, 2u);
+}
+
+TEST(BufferPool, OversizeBuffersAreNotRetained) {
+  BufferPool pool;
+  std::vector<std::byte> huge;
+  huge.reserve(65 * 1024);  // above kMaxRetainBytes
+  huge.resize(8);
+  pool.release(std::move(huge));
+  EXPECT_EQ(pool.stats().discards, 1u);
+  // The next acquire must not hand the huge capacity back.
+  EXPECT_EQ(pool.acquire().capacity(), 0u);
+}
+
+TEST(BufferPool, FreelistIsBounded) {
+  BufferPool pool;
+  for (int i = 0; i < 70; ++i) {
+    std::vector<std::byte> buf;
+    buf.reserve(16);
+    pool.release(std::move(buf));
+  }
+  EXPECT_EQ(pool.stats().releases, 70u);
+  EXPECT_GT(pool.stats().discards, 0u);  // beyond kMaxFree are dropped
+  EXPECT_EQ(pool.stats().releases - pool.stats().discards, 64u);
+}
+
+TEST(ByteWriterPool, TakeTransfersOwnership) {
+  BufferPool pool;
+  std::vector<std::byte> taken;
+  {
+    ByteWriter w(pool);
+    w.str("hello");
+    taken = std::move(w).take();
+  }  // destructor must NOT release after take()
+  EXPECT_EQ(pool.stats().releases, 0u);
+  ByteReader r(taken);
+  EXPECT_EQ(r.str(), "hello");
+}
+
+TEST(ByteWriter, PatchU32RewritesInPlace) {
+  ByteWriter w;
+  w.u32(0);  // reserved slot
+  w.str("payload");
+  const std::size_t len = w.size();
+  w.patch_u32(0, 0xcafebabe);
+  EXPECT_EQ(w.size(), len);  // patching never appends
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u32(), 0xcafebabeU);
+  EXPECT_EQ(r.str(), "payload");
+}
+
+TEST(ByteReader, BytesViewAliasesTheBuffer) {
+  ByteWriter w;
+  const std::byte blob[] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  w.bytes(blob);
+  const auto backing = w.view();
+  ByteReader r(backing);
+  const auto view = r.bytes_view();
+  ASSERT_EQ(view.size(), 3u);
+  // A view, not a copy: it points into the writer's buffer.
+  EXPECT_GE(view.data(), backing.data());
+  EXPECT_LT(view.data(), backing.data() + backing.size());
+  EXPECT_EQ(std::memcmp(view.data(), blob, 3), 0);
+}
+
+bcast::Proposal make_proposal(ProcessId proposer, std::uint64_t seq,
+                              std::size_t payload_len) {
+  bcast::Proposal p;
+  p.id = {proposer, static_cast<ProposalSeq>(seq)};
+  p.order = static_cast<bcast::Order>(seq % 3);
+  p.atomicity = static_cast<bcast::Atomicity>(seq % 2);
+  p.hdo = seq * 3;
+  p.send_ts = static_cast<sim::ClockTime>(1000 + seq);
+  p.fifo_floor = static_cast<ProposalSeq>(seq / 2);
+  p.payload.assign(payload_len, std::byte{static_cast<unsigned char>(seq)});
+  return p;
+}
+
+void expect_equal(const bcast::Proposal& a, const bcast::Proposal& b) {
+  EXPECT_EQ(a.id.proposer, b.id.proposer);
+  EXPECT_EQ(a.id.seq, b.id.seq);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.atomicity, b.atomicity);
+  EXPECT_EQ(a.hdo, b.hdo);
+  EXPECT_EQ(a.send_ts, b.send_ts);
+  EXPECT_EQ(a.fifo_floor, b.fifo_floor);
+  EXPECT_EQ(a.payload, b.payload);
+}
+
+TEST(ProposalBatch, BatchOfOneIsWireIdenticalToPlainProposal) {
+  const bcast::Proposal p = make_proposal(2, 7, 24);
+  const bcast::Proposal* one[] = {&p};
+  const auto batched = bcast::encode_proposal_batch(one);
+  const auto plain = bcast::encode_proposal(p);
+  EXPECT_EQ(batched, plain);  // old receivers parse it unchanged
+  EXPECT_EQ(static_cast<net::MsgKind>(batched[0]), net::MsgKind::proposal);
+}
+
+TEST(ProposalBatch, RoundTripPreservesEveryField) {
+  std::vector<bcast::Proposal> ps;
+  for (std::uint64_t i = 0; i < 6; ++i)
+    ps.push_back(make_proposal(static_cast<ProcessId>(i % 3), i + 1,
+                               static_cast<std::size_t>(i) * 17));
+  std::vector<const bcast::Proposal*> ptrs;
+  for (const auto& p : ps) ptrs.push_back(&p);
+
+  const auto wire = bcast::encode_proposal_batch(ptrs);
+  EXPECT_EQ(static_cast<net::MsgKind>(wire[0]),
+            net::MsgKind::proposal_batch);
+  ByteReader r(wire);
+  ASSERT_EQ(static_cast<net::MsgKind>(r.u8()), net::MsgKind::proposal_batch);
+  const auto decoded = bcast::decode_proposal_batch(r);
+  ASSERT_EQ(decoded.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    expect_equal(decoded[i], ps[i]);
+}
+
+TEST(ProposalBatch, EmptyBatchIsRejected) {
+  ByteWriter w;
+  w.u8(net::kind_byte(net::MsgKind::proposal_batch));
+  w.var_u64(0);
+  ByteReader r(w.view());
+  r.u8();
+  EXPECT_THROW((void)bcast::decode_proposal_batch(r), DecodeError);
+}
+
+TEST(ProposalBatch, OversizeCountIsRejected) {
+  ByteWriter w;
+  w.u8(net::kind_byte(net::MsgKind::proposal_batch));
+  w.var_u64(100000);  // far above the decode bound
+  ByteReader r(w.view());
+  r.u8();
+  EXPECT_THROW((void)bcast::decode_proposal_batch(r), DecodeError);
+}
+
+TEST(ProposalBatch, TruncationAtEveryByteThrowsCleanly) {
+  std::vector<bcast::Proposal> ps;
+  for (std::uint64_t i = 0; i < 3; ++i)
+    ps.push_back(make_proposal(static_cast<ProcessId>(i), i + 1, 9));
+  std::vector<const bcast::Proposal*> ptrs;
+  for (const auto& p : ps) ptrs.push_back(&p);
+  const auto wire = bcast::encode_proposal_batch(ptrs);
+
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    ByteReader r(std::span<const std::byte>(wire.data(), cut));
+    r.u8();  // kind
+    // Truncated input must fail with DecodeError, never UB or success.
+    EXPECT_THROW((void)bcast::decode_proposal_batch(r), DecodeError)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(ProposalBatch, RandomizedRoundTrip) {
+  sim::Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    const int count = static_cast<int>(rng.uniform_int(1, 12));
+    std::vector<bcast::Proposal> ps;
+    for (int i = 0; i < count; ++i)
+      ps.push_back(make_proposal(
+          static_cast<ProcessId>(rng.uniform_int(0, 15)),
+          static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20)),
+          static_cast<std::size_t>(rng.uniform_int(0, 200))));
+    std::vector<const bcast::Proposal*> ptrs;
+    for (const auto& p : ps) ptrs.push_back(&p);
+
+    const auto wire = bcast::encode_proposal_batch(ptrs);
+    ByteReader r(wire);
+    r.u8();
+    std::vector<bcast::Proposal> decoded;
+    if (count == 1)
+      decoded.push_back(bcast::decode_proposal(r));  // wire-compat path
+    else
+      decoded = bcast::decode_proposal_batch(r);
+    ASSERT_EQ(decoded.size(), ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i)
+      expect_equal(decoded[i], ps[i]);
+  }
+}
+
+TEST(ProposalCodec, EncodersDrawFromTheThreadLocalPool) {
+  auto& pool = BufferPool::local();
+  const bcast::Proposal p = make_proposal(1, 5, 32);
+  auto first = bcast::encode_proposal(p);
+  pool.release(std::move(first));
+  pool.reset_stats();
+  auto second = bcast::encode_proposal(p);  // same size: must reuse
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_EQ(pool.stats().allocs, 0u);
+  pool.release(std::move(second));
+}
+
+}  // namespace
+}  // namespace tw

@@ -20,8 +20,10 @@ struct Rig {
     for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
       procs.install(p, ProcessService::Callbacks{
                            [] {},
-                           [this, p](ProcessId from, std::vector<std::byte> d) {
-                             rx[p].emplace_back(from, std::move(d));
+                           [this, p](ProcessId from, std::span<const std::byte> d) {
+                             rx[p].emplace_back(
+                                 from,
+                                 std::vector<std::byte>(d.begin(), d.end()));
                            }});
     }
   }

@@ -19,7 +19,7 @@ struct Rig {
     for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
       procs.install(p, ProcessService::Callbacks{
                            [this, p] { ++starts[p]; },
-                           [this, p](ProcessId, std::vector<std::byte>) {
+                           [this, p](ProcessId, std::span<const std::byte>) {
                              ++datagrams[p];
                            }});
     }

@@ -29,6 +29,7 @@ void usage() {
   --n N             team size (default 5)
   --duration SEC    fault-window length in simulated seconds (default 15)
   --rate HZ         proposal workload rate (default 15)
+  --max-batch K     NodeConfig::max_batch for every node (default 1 = off)
   --loss P          ambient datagram loss probability (default 0.01)
   --dup P           ambient duplication probability (default 0.02)
   --reorder P       ambient bounded-reorder probability (default 0.05)
@@ -88,6 +89,8 @@ int main(int argc, char** argv) {
       duration_sec = f;
     } else if (arg == "--rate" && next() && parse_f(argv[i], f)) {
       cfg.workload_rate_hz = f;
+    } else if (arg == "--max-batch" && next() && parse_u(argv[i], u)) {
+      cfg.max_batch = static_cast<int>(u);
     } else if (arg == "--loss" && next() && parse_f(argv[i], f)) {
       cfg.loss_prob = f;
     } else if (arg == "--dup" && next() && parse_f(argv[i], f)) {
