@@ -257,11 +257,22 @@ int main(int argc, char** argv) {
   sleep_ms(800);
 
   std::printf("\nrecovering member 3...\n");
+  const std::uint64_t inc_before = nodes[3]->incarnation();
   cluster.recover(3);
   const int budget_ms = run_seconds * 1000;
   for (int t = 0; t < budget_ms; t += 200) {
-    if (nodes[3]->in_group() &&
-        nodes[3]->group() == util::ProcessSet::full(kTeam))
+    // recover() posts on_start() to m3's loop; until that runs the node
+    // still shows its stale pre-crash state (in_group, full view, not
+    // dirty), so with a durable store first wait for the incarnation bump
+    // that proves recovery began. Readmission (full view) is not the end
+    // of recovery either: a recovered member still re-baselines its
+    // replica from a state transfer, and the rehabilitation milestone
+    // lands only when that arrives. Wait for all of it, or the timeline
+    // below truncates mid-recovery.
+    if ((dir.empty() || nodes[3]->incarnation() > inc_before) &&
+        nodes[3]->in_group() &&
+        nodes[3]->group() == util::ProcessSet::full(kTeam) &&
+        !nodes[3]->recovered_dirty() && !nodes[3]->awaiting_state())
       break;
     sleep_ms(200);
   }

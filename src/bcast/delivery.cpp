@@ -14,6 +14,7 @@ DeliveryEngine::DeliveryEngine(ProcessId self, sim::Duration deliver_delay,
 void DeliveryEngine::reset() {
   slots_.clear();
   adopted_ = Oal{};
+  fence_ = 0;
   cursor_ = 0;
   delivered_n_ = 0;
   suspect_marks_.clear();
@@ -50,6 +51,7 @@ bool DeliveryEngine::note_proposal(const Proposal& p, sim::ClockTime sync_now) {
   // Bind ordinal if the oal already listed it.
   if (const OalEntry* e = adopted_.find(p.id)) {
     s.ordinal = e->ordinal;
+    s.bind_epoch = e->epoch != 0 ? e->epoch : fence_;
     s.oal_undeliverable = e->undeliverable;
     notify_order(s.ordinal, p.id.proposer);
   }
@@ -78,7 +80,32 @@ const Proposal* DeliveryEngine::get(ProposalId pid) const {
                                                : nullptr;
 }
 
-void DeliveryEngine::adopt_oal(const Oal& oal) {
+void DeliveryEngine::raise_fence(GroupId epoch) {
+  if (epoch <= fence_) return;
+  if (recorder_ != nullptr)
+    recorder_->emit(obs::EvKind::epoch_fence, 0, epoch, fence_);
+  fence_ = epoch;
+}
+
+DeliveryEngine::AdoptOutcome DeliveryEngine::adopt_oal(const Oal& oal,
+                                                       GroupId epoch) {
+  AdoptOutcome out;
+  out.window_epoch = std::max(epoch, oal.epoch());
+  // Epoch fence: a window from a superseded epoch must never rebind or
+  // un-mark anything — it describes a branch of history that lost. Clock
+  // timestamps cannot make this call (steps/skew reorder them across a
+  // heal); only the monotone group epoch can.
+  if (out.window_epoch != 0 && out.window_epoch < fence_) {
+    out.quarantined = true;
+    if (recorder_ != nullptr)
+      recorder_->emit(obs::EvKind::oal_quarantined, 0, out.window_epoch,
+                      fence_);
+    TW_WARN("p" << self_ << ": quarantined stale oal window (epoch "
+                << out.window_epoch << " < fence " << fence_ << ")");
+    return out;
+  }
+  raise_fence(out.window_epoch);
+
   // Keep monotone knowledge: merge our previous ack bits into the incoming
   // window before adopting it wholesale.
   Oal incoming = oal;
@@ -90,15 +117,37 @@ void DeliveryEngine::adopt_oal(const Oal& oal) {
     auto [mit, minserted] = max_ordered_seq_.try_emplace(e.pid.proposer,
                                                          e.pid.seq);
     if (!minserted) mit->second = std::max(mit->second, e.pid.seq);
+    const GroupId entry_epoch = e.epoch != 0 ? e.epoch : out.window_epoch;
     Slot& s = slots_[e.pid];
     if (s.ordinal != kNoOrdinal && s.ordinal != e.ordinal) {
-      // Divergent branch (we were excluded from a completed group and a
-      // different history won). Trust the authoritative oal.
-      TW_WARN("p" << self_ << ": ordinal rebind for proposal "
-                  << e.pid.proposer << "." << e.pid.seq << ": " << s.ordinal
-                  << " -> " << e.ordinal);
+      ++out.rebinds;
+      if (entry_epoch != s.bind_epoch) {
+        // Cross-epoch rebind: the installed epoch placed this proposal at
+        // a different ordinal than the epoch we bound it under — our local
+        // history is a forked branch. The winning binding is adopted (the
+        // fence already admitted this window), but the caller must treat
+        // the divergence as fatal for local delivered state and
+        // re-baseline via state transfer instead of carrying both
+        // lineages forward.
+        ++out.divergent;
+        if (recorder_ != nullptr)
+          recorder_->emit(obs::EvKind::oal_quarantined, 1, e.ordinal,
+                          (s.bind_epoch << 32) |
+                              (entry_epoch & 0xffffffffULL));
+        TW_WARN("p" << self_ << ": cross-epoch ordinal rebind for proposal "
+                    << e.pid.proposer << "." << e.pid.seq << ": "
+                    << s.ordinal << " (epoch " << s.bind_epoch << ") -> "
+                    << e.ordinal << " (epoch " << entry_epoch << ")");
+      } else {
+        // Divergent branch (we were excluded from a completed group and a
+        // different history won). Trust the authoritative oal.
+        TW_WARN("p" << self_ << ": ordinal rebind for proposal "
+                    << e.pid.proposer << "." << e.pid.seq << ": "
+                    << s.ordinal << " -> " << e.ordinal);
+      }
     }
     s.ordinal = e.ordinal;
+    s.bind_epoch = entry_epoch;
     notify_order(s.ordinal, e.pid.proposer);
     if (e.undeliverable) s.oal_undeliverable = true;
     if (!s.have) {
@@ -119,6 +168,34 @@ void DeliveryEngine::adopt_oal(const Oal& oal) {
           e.pid.seq <= fit->second)
         s.delivered = true;
     }
+  }
+  // Ordinal-occupancy conflicts: the adopted window may claim an ordinal
+  // for a DIFFERENT proposal than the one we bound there — a decider that
+  // missed its predecessor's last decision re-orders fresh proposals at
+  // ordinals that were already decided (the same fork the epoch fence
+  // catches across group creations, arising here within one epoch). The
+  // authoritative window wins. A stale binding not yet delivered is
+  // released back to the unordered pool; one we HAVE delivered is a forked
+  // lineage — count it divergent so the membership layer re-baselines us
+  // instead of carrying both branches forward.
+  for (auto& [pid, s] : slots_) {
+    if (s.ordinal == kNoOrdinal) continue;
+    const OalEntry* oe = adopted_.find_ordinal(s.ordinal);
+    if (oe == nullptr) continue;  // binding outside the adopted window
+    if (oe->kind == OalEntry::Kind::update && oe->pid == pid) continue;
+    if (s.delivered) {
+      ++out.divergent;
+      if (recorder_ != nullptr)
+        recorder_->emit(obs::EvKind::oal_quarantined, 1, s.ordinal,
+                        (s.bind_epoch << 32) |
+                            (out.window_epoch & 0xffffffffULL));
+      TW_WARN("p" << self_ << ": delivered " << pid.proposer << "."
+                  << pid.seq << " at ordinal " << s.ordinal
+                  << " but the window (epoch " << out.window_epoch
+                  << ") binds that ordinal elsewhere — lineage forked");
+    }
+    s.ordinal = kNoOrdinal;
+    s.bind_epoch = 0;
   }
   // The stream may never have to wait for ordinals that were purged as
   // stable before we saw them... but stability implies we acknowledged
@@ -156,6 +233,7 @@ void DeliveryEngine::adopt_oal(const Oal& oal) {
     }
   }
   retire_covered_delivered();
+  return out;
 }
 
 void DeliveryEngine::retire_covered_delivered() {
@@ -390,6 +468,7 @@ void DeliveryEngine::import_transfer_marks(const TransferMarks& marks) {
       // Forget it — the transferrer's oal is adopted right after this and
       // re-binds every ordering the winning history actually contains.
       s.ordinal = kNoOrdinal;
+      s.bind_epoch = 0;
       s.oal_undeliverable = false;
     }
     ++it;

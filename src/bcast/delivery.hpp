@@ -54,9 +54,31 @@ class DeliveryEngine {
   [[nodiscard]] const Proposal* get(ProposalId pid) const;
 
   // --- oal adoption ------------------------------------------------------
+  /// What adopt_oal did, so the membership layer can react: a quarantined
+  /// window was refused wholesale; divergent (cross-epoch) rebinds mean
+  /// our delivered history belongs to a branch the installed epoch has
+  /// superseded and the node must re-solicit a fresh baseline.
+  struct AdoptOutcome {
+    bool quarantined = false;  ///< whole window refused (stale epoch)
+    int rebinds = 0;           ///< ordinal rebinds applied
+    int divergent = 0;         ///< of those, cross-epoch (forked history)
+    GroupId window_epoch = 0;  ///< effective epoch of the incoming window
+  };
+
   /// Adopt the oal of the freshest decision: bind ordinals, merge ack bits,
   /// absorb undeliverable marks, release payloads of purged entries.
-  void adopt_oal(const Oal& oal);
+  /// `epoch` is the carrying message's group id (the window fence); a
+  /// window older than the installed fence is quarantined, not adopted —
+  /// timestamps do not totally order histories across a partition heal,
+  /// so "freshest decision wins" must be judged by epoch, never by clock.
+  AdoptOutcome adopt_oal(const Oal& oal, GroupId epoch = 0);
+
+  /// The epoch fence: the newest group epoch whose window this engine has
+  /// adopted (or that the membership layer installed via raise_fence).
+  [[nodiscard]] GroupId fence() const { return fence_; }
+  /// Raise the fence explicitly (view install): windows from epochs below
+  /// the fence are quarantined from here on. Never lowers.
+  void raise_fence(GroupId epoch);
 
   [[nodiscard]] const Oal& adopted() const { return adopted_; }
 
@@ -156,6 +178,7 @@ class DeliveryEngine {
     bool have = false;
     bool delivered = false;
     Ordinal ordinal = kNoOrdinal;
+    GroupId bind_epoch = 0;  ///< epoch that bound `ordinal` (0 = unfenced)
     sim::ClockTime local_mark_expiry = -1;  ///< local undeliverable mark
     bool oal_undeliverable = false;         ///< authoritative mark
     sim::ClockTime first_seen = -1;         ///< when the payload arrived
@@ -186,6 +209,8 @@ class DeliveryEngine {
 
   std::map<ProposalId, Slot> slots_;
   Oal adopted_;
+  /// Epoch fence: adopt_oal refuses windows from epochs below this.
+  GroupId fence_ = 0;
   Ordinal cursor_ = 0;  ///< next ordinal the stream will consider
   std::uint64_t delivered_n_ = 0;
   /// Active suspect-sender marks: proposer -> expiry.

@@ -7,8 +7,19 @@
 
 namespace tw::bcast {
 
+namespace {
+/// Flag bit on the kind byte announcing a trailing epoch stamp. Old
+/// decoders rejected any kind byte above 1, so the bit is unambiguous:
+/// legacy bytes never carry it, and legacy entries decode with epoch 0
+/// (unfenced). Epoch-0 entries encode in the legacy format, keeping the
+/// wire image byte-identical for histories from before the first group.
+constexpr std::uint8_t kEpochFlag = 0x80;
+}  // namespace
+
 void OalEntry::encode(util::ByteWriter& w) const {
-  w.u8(static_cast<std::uint8_t>(kind));
+  std::uint8_t kind_byte = static_cast<std::uint8_t>(kind);
+  if (epoch != 0) kind_byte |= kEpochFlag;
+  w.u8(kind_byte);
   w.var_u64(ordinal);
   w.u64(acks.bits());
   w.boolean(undeliverable);
@@ -25,11 +36,14 @@ void OalEntry::encode(util::ByteWriter& w) const {
     w.u64(members.bits());
     w.var_i64(ts);
   }
+  if (epoch != 0) w.var_u64(epoch);
 }
 
 OalEntry OalEntry::decode(util::ByteReader& r) {
   OalEntry e;
-  const auto kind_raw = r.u8();
+  auto kind_raw = r.u8();
+  const bool fenced = (kind_raw & kEpochFlag) != 0;
+  kind_raw &= static_cast<std::uint8_t>(~kEpochFlag);
   if (kind_raw > 1) throw util::DecodeError("bad oal entry kind");
   e.kind = static_cast<Kind>(kind_raw);
   e.ordinal = r.var_u64();
@@ -52,6 +66,10 @@ OalEntry OalEntry::decode(util::ByteReader& r) {
     e.members = util::ProcessSet(r.u64());
     e.ts = r.var_i64();
   }
+  if (fenced) {
+    e.epoch = r.var_u64();
+    if (e.epoch == 0) throw util::DecodeError("fenced oal entry with epoch 0");
+  }
   return e;
 }
 
@@ -60,6 +78,7 @@ Ordinal Oal::append_update(const Proposal& p, util::ProcessSet initial_acks) {
   OalEntry e;
   e.kind = OalEntry::Kind::update;
   e.ordinal = next_ordinal();
+  e.epoch = epoch_;
   e.acks = initial_acks;
   e.pid = p.id;
   e.order = p.order;
@@ -72,9 +91,11 @@ Ordinal Oal::append_update(const Proposal& p, util::ProcessSet initial_acks) {
 
 Ordinal Oal::append_membership(GroupId gid, util::ProcessSet members,
                                sim::ClockTime ts) {
+  set_epoch(gid);  // the membership change itself opens the new epoch
   OalEntry e;
   e.kind = OalEntry::Kind::membership;
   e.ordinal = next_ordinal();
+  e.epoch = epoch_;
   e.acks = members;  // conveyed by the decision itself
   e.gid = gid;
   e.members = members;
@@ -108,10 +129,21 @@ void Oal::add_ack(ProposalId pid, ProcessId member) {
 
 void Oal::merge_acks_from(const Oal& other) {
   for (auto& e : entries_) {
-    if (const OalEntry* oe = other.find_ordinal(e.ordinal)) {
-      e.acks = e.acks.union_with(oe->acks);
-      if (oe->undeliverable) e.undeliverable = true;
-    }
+    const OalEntry* oe = other.find_ordinal(e.ordinal);
+    if (oe == nullptr) continue;
+    // Identity gate: acks only merge between entries describing the same
+    // update/membership change. A same-ordinal entry with a different
+    // identity is a fork — merging its bits would let acknowledgements of
+    // a different proposal satisfy this one's stability/atomicity gates.
+    if (oe->kind != e.kind) continue;
+    if (e.kind == OalEntry::Kind::update && oe->pid != e.pid) continue;
+    if (e.kind == OalEntry::Kind::membership &&
+        (oe->gid != e.gid || !(oe->members == e.members)))
+      continue;
+    e.acks = e.acks.union_with(oe->acks);
+    if (oe->undeliverable) e.undeliverable = true;
+    // Same binding; a non-zero stamp upgrades a legacy (epoch-0) copy.
+    e.epoch = std::max(e.epoch, oe->epoch);
   }
 }
 
@@ -140,9 +172,10 @@ int Oal::purge_stable(util::ProcessSet group, sim::ClockTime now,
   return purged;
 }
 
-void Oal::reset_base(Ordinal base) {
-  TW_ASSERT_MSG(entries_.empty(), "reset_base on a non-empty oal");
+void Oal::seed_base(Ordinal base, GroupId epoch) {
+  TW_ASSERT_MSG(entries_.empty(), "seed_base on a non-empty oal");
   base_ = base;
+  set_epoch(epoch);
 }
 
 bool Oal::is_prefix_compatible(const Oal& other) const {
@@ -173,6 +206,7 @@ Oal Oal::decode(util::ByteReader& r) {
     OalEntry e = OalEntry::decode(r);
     if (e.ordinal != oal.base_ + i)
       throw util::DecodeError("oal ordinals not contiguous");
+    oal.epoch_ = std::max(oal.epoch_, e.epoch);
     oal.entries_.push_back(std::move(e));
   }
   return oal;
@@ -180,7 +214,8 @@ Oal Oal::decode(util::ByteReader& r) {
 
 std::string Oal::to_string() const {
   std::ostringstream os;
-  os << "oal[base=" << base_ << ",n=" << entries_.size() << "]{";
+  os << "oal[base=" << base_ << ",n=" << entries_.size() << ",ep=" << epoch_
+     << "]{";
   for (const auto& e : entries_) {
     os << ' ' << e.ordinal << ':';
     if (e.kind == OalEntry::Kind::update)

@@ -27,6 +27,13 @@ struct OalEntry {
 
   Kind kind = Kind::update;
   Ordinal ordinal = kNoOrdinal;
+  /// Epoch fence: the GroupId of the group in whose context the decider
+  /// bound this ordinal. 0 = unfenced (legacy wire format, or a window
+  /// from before the first group formed). Cross-epoch rebinds — a window
+  /// stamped with one epoch reassigning an ordinal bound under another —
+  /// are the signature of a forked history and are quarantined by
+  /// DeliveryEngine::adopt_oal instead of trusted.
+  GroupId epoch = 0;
   util::ProcessSet acks;       ///< members known to hold the update
   bool undeliverable = false;  ///< no member may deliver this (paper §4.3)
   /// When the undeliverable mark was applied (synchronized clock); the
@@ -91,7 +98,12 @@ class Oal {
   [[nodiscard]] std::deque<OalEntry>& entries() { return entries_; }
 
   void add_ack(ProposalId pid, ProcessId member);
-  /// OR `other`'s ack bits into matching (same-ordinal) entries.
+  /// OR `other`'s ack bits into entries describing the SAME update or
+  /// membership change (same ordinal AND same identity). An entry of
+  /// `other` that binds the shared ordinal to a different proposal belongs
+  /// to a forked history: its acks (and undeliverable mark) must not be
+  /// merged, or a stability/atomicity gate could be satisfied by
+  /// acknowledgements of a different update.
   void merge_acks_from(const Oal& other);
 
   /// Drop the longest prefix of entries that are safe to forget:
@@ -115,7 +127,18 @@ class Oal {
   /// Seed the ordinal base of an EMPTY oal. A team re-forming from scratch
   /// (every member's knowledge lost) seeds the base from the synchronized
   /// clock so its ordinals can never collide with a previous epoch's.
-  void reset_base(Ordinal base);
+  /// `epoch` stamps the window (see set_epoch): should a clock-seeded base
+  /// nevertheless land inside a previous epoch's window held by some
+  /// straggler, the per-entry epoch stamps let the straggler's delivery
+  /// engine detect the collision and quarantine it instead of merging.
+  void seed_base(Ordinal base, GroupId epoch = 0);
+
+  /// The window's epoch: the newest GroupId this window was produced
+  /// under. Monotone (set_epoch only raises it); entries appended after
+  /// set_epoch(g) are stamped with g. Not encoded as its own field —
+  /// decode derives it from the entry stamps.
+  [[nodiscard]] GroupId epoch() const { return epoch_; }
+  void set_epoch(GroupId e) { epoch_ = std::max(epoch_, e); }
 
   void encode(util::ByteWriter& w) const;
   static Oal decode(util::ByteReader& r);
@@ -124,6 +147,7 @@ class Oal {
 
  private:
   Ordinal base_ = 0;
+  GroupId epoch_ = 0;
   std::deque<OalEntry> entries_;
 };
 

@@ -46,6 +46,11 @@ struct NodeConfig {
   /// re-form from scratch after catastrophic failures the paper's failure
   /// assumption excludes. 0 disables the fallback.
   int join_fallback_cycles = 6;
+  /// How many state-transfer solicitations a joiner / re-baselining member
+  /// sends (exponential backoff + jitter between them, walking the ring
+  /// for a fresh donor each time) before giving up and flushing buffered
+  /// deliveries as-is.
+  int state_retry_limit = 6;
 
   [[nodiscard]] sim::Duration effective_decision_delay() const {
     return decision_delay > 0 ? decision_delay : big_d / 2;

@@ -299,9 +299,13 @@ std::vector<std::string> SimHarness::check_lineage_agreement(
       if (e.ordinal != kNoOrdinal) {
         const auto [it, inserted] = by_ordinal.try_emplace(e.ordinal, e.pid);
         if (!inserted && !(it->second == e.pid))
-          errors.push_back("lineage ordinal conflict at " +
-                           std::to_string(e.ordinal) + " (p" +
-                           std::to_string(p) + ")");
+          errors.push_back(
+              "lineage ordinal conflict at " + std::to_string(e.ordinal) +
+              " (p" + std::to_string(p) + " delivered " +
+              std::to_string(e.pid.proposer) + "." +
+              std::to_string(e.pid.seq) + ", another lineage has " +
+              std::to_string(it->second.proposer) + "." +
+              std::to_string(it->second.seq) + ")");
       }
       if (e.order == bcast::Order::total) {
         auto [it, inserted] =

@@ -126,6 +126,7 @@ void TimewheelNode::full_reset() {
 
   last_rejoin_ts_ = -1;
   rejoin_target_ = kNoProcess;
+  rejoin_attempts_ = 0;
 
   stats_ = NodeStats{};
   fd_.reset();
@@ -597,6 +598,20 @@ void TimewheelNode::handle_decision(ProcessId from, bcast::Decision d) {
   if (!accept_control(from, d.send_ts, d.alive, now)) return;
   if (d.send_ts <= last_decision_ts_) return;  // we know something fresher
 
+  // Epoch fence: the timestamp check above is a heuristic, not an order —
+  // across a partition heal (or a clock-step fault) a decision from a
+  // superseded group can carry a FRESHER send_ts than the epoch we
+  // installed. Group ids are monotone along every chain of majority
+  // groups, so a decision whose gid regresses below ours is from a stale
+  // epoch: acting on it would rebind ordinals of the installed history.
+  if (installed_ && d.gid < gid_) {
+    if (auto* rec = ep_.obs())
+      rec->emit(obs::EvKind::epoch_fence, 1, d.gid, gid_);
+    TW_DEBUG("p" << self() << ": refusing stale-epoch decision (gid "
+                 << d.gid << " < installed " << gid_ << ")");
+    return;
+  }
+
   // Fail-aware lateness rejection (§3): a decision older than δ + ε + σ was
   // sent by a process that is not Δ-stable towards us; acting on it (in
   // particular assuming the decider role from it) could create a second
@@ -668,7 +683,7 @@ void TimewheelNode::handle_decision(ProcessId from, bcast::Decision d) {
       gid_ = d.gid;
       group_ = d.group;
       installed_ = true;
-      delivery_.adopt_oal(d.oal);
+      delivery_.adopt_oal(d.oal, d.gid);
       run_delivery(now);
       return;
     }
@@ -691,7 +706,11 @@ void TimewheelNode::handle_decision(ProcessId from, bcast::Decision d) {
   awaiting_exit_decisions_ = false;
 
   // Broadcast bookkeeping.
-  delivery_.adopt_oal(d.oal);
+  const auto adopt = delivery_.adopt_oal(d.oal, d.gid);
+  // The sender of the winning decision is on the surviving branch by
+  // definition — solicit the fresh baseline from it directly rather than
+  // walking the ring past members that may be re-baselining themselves.
+  if (adopt.divergent > 0) begin_rebaseline(adopt, now, from);
   run_delivery(now);
   request_missing(now, from);
 
@@ -770,7 +789,7 @@ void TimewheelNode::handle_exclusion(const bcast::Decision& d, ProcessId from,
   // proposal the group already bound. Deliveries this triggers are the
   // §3-sanctioned divergence of a non-member and are superseded by the
   // state transfer at re-integration.
-  delivery_.adopt_oal(d.oal);
+  delivery_.adopt_oal(d.oal, d.gid);
   run_delivery(now);
 
   if (state_ == GcState::n_failure) {
@@ -892,6 +911,10 @@ void TimewheelNode::send_decision(sim::ClockTime now) {
     ep_.trace(TraceKind::group_created, gid_, 0, group_);
   }
 
+  // New orderings belong to the current epoch: stamp them with the
+  // installed gid so any member whose history forks from here can detect
+  // the cross-epoch rebind instead of silently merging.
+  oal.set_epoch(gid_);
   order_pending_proposals(oal, now);
   oal.purge_stable(group_, now, cfg_.deliver_delay, slots_.cycle_len());
 
@@ -915,7 +938,7 @@ void TimewheelNode::send_decision(sim::ClockTime now) {
   // Self-adoption: the decider is also a member.
   last_decision_ts_ = d.send_ts;
   last_decider_ = self();
-  delivery_.adopt_oal(d.oal);
+  delivery_.adopt_oal(d.oal, gid_);
   run_delivery(now);
 
   // Relinquish the role; survey the successor.
@@ -957,9 +980,14 @@ void TimewheelNode::handle_state_request(ProcessId from) {
 }
 
 void TimewheelNode::solicit_rejoin(sim::ClockTime now) {
-  // At most one solicitation per cycle; rotate the target so a donor that
-  // is itself dirty (or whose reply was lost) does not starve us.
-  if (last_rejoin_ts_ >= 0 && now - last_rejoin_ts_ < slots_.cycle_len())
+  // Bounded retransmission with exponential backoff + per-process jitter:
+  // a lossy heal degrades into progressively rarer solicitations instead
+  // of the whole healed side hammering the ring in lockstep once per
+  // cycle. The target still rotates so a donor that is itself dirty (or
+  // whose reply was lost) does not starve us.
+  if (last_rejoin_ts_ >= 0 &&
+      now - last_rejoin_ts_ <
+          retry_backoff(rejoin_attempts_) + retry_jitter(rejoin_attempts_))
     return;
   // Solicit only once the zombie guard has adopted the group's knowledge —
   // before that we do not know who the members are, and the normal join
@@ -970,9 +998,13 @@ void TimewheelNode::solicit_rejoin(sim::ClockTime now) {
   if (rejoin_target_ == self())
     rejoin_target_ = group_.successor_of(rejoin_target_);
   last_rejoin_ts_ = now;
+  ++rejoin_attempts_;
   ++stats_.rejoin_requests_sent;
-  if (auto* rec = ep_.obs())
+  if (auto* rec = ep_.obs()) {
     rec->emit(obs::EvKind::rejoin_request, 0, rejoin_target_);
+    rec->emit(obs::EvKind::rejoin_retry, 1,
+              static_cast<std::uint64_t>(rejoin_attempts_), rejoin_target_);
+  }
   TW_DEBUG("p" << self() << " solicits rejoin state from p"
                << rejoin_target_);
   RejoinRequest rq;
@@ -1382,20 +1414,48 @@ void TimewheelNode::create_group(util::ProcessSet members,
   }
 
   // Merge the views received from the other new members so ack knowledge is
-  // complete before classifying lost proposals.
+  // complete before classifying lost proposals. The BASE of the merge is
+  // the epoch-freshest window among our own view and the supporters' views
+  // (epoch first, window length as the tie-break within an epoch), NOT
+  // simply our own: after a partition heal the election can be won by a
+  // member whose window is behind the side that kept deciding, and a
+  // creator that keeps its own stale window would re-order proposals the
+  // fresher epoch already bound — rebinding ordinals under every member
+  // that adopted the fresher history (the lineage-conflict race this
+  // fence exists to kill). Acks of the non-chosen windows still merge in.
   bcast::Oal merged = delivery_.view(now);
+  ProcessId freshest_donor = kNoProcess;
+  auto fresher = [](const bcast::Oal& cand, const bcast::Oal& cur) {
+    if (cand.epoch() != cur.epoch()) return cand.epoch() > cur.epoch();
+    return cand.next_ordinal() > cur.next_ordinal();
+  };
+  auto fold_view = [&](const bcast::Oal& v, ProcessId m) {
+    if (fresher(v, merged)) {
+      bcast::Oal next = v;
+      next.merge_acks_from(merged);
+      merged = std::move(next);
+      freshest_donor = m;
+    } else {
+      merged.merge_acks_from(v);
+    }
+  };
   for (ProcessId m : members) {
     if (m == self()) continue;
     const auto& nd = nd_infos_[m];
     if (nd.ts >= 0 && now - nd.ts <= cfg_.staleness_bound(n_))
-      merged.merge_acks_from(nd.view);
+      fold_view(nd.view, m);
     const auto& rc = recon_infos_[m];
     if (rc.valid && now - rc.msg.send_ts <= cfg_.staleness_bound(n_)) {
-      merged.merge_acks_from(rc.msg.view);
+      fold_view(rc.msg.view, m);
       extra_dpds.insert(extra_dpds.end(), rc.msg.dpd.begin(),
                         rc.msg.dpd.end());
     }
   }
+
+  // The new epoch opens here: stamp everything this creation appends
+  // (repair stubs, the membership descriptor, the first orderings).
+  const GroupId new_gid = next_gid(now);
+  merged.set_epoch(new_gid);
 
   RepairResult repaired;
   if (!departed.empty() || !extra_dpds.empty()) {
@@ -1409,12 +1469,14 @@ void TimewheelNode::create_group(util::ProcessSet members,
     // A team forming with no surviving knowledge (initial start, or
     // re-forming after every member's knowledge was lost): seed the ordinal
     // space from the synchronized clock so it cannot collide with a
-    // previous epoch's ordinals.
-    repaired.oal.reset_base(static_cast<Ordinal>(now));
+    // previous epoch's ordinals. Should the clock-seeded base nevertheless
+    // overlap a previous epoch's window (a stepped clock), the epoch stamp
+    // lets any straggler holding that window quarantine the collision.
+    repaired.oal.seed_base(static_cast<Ordinal>(now), new_gid);
   }
 
   ++stats_.groups_created;
-  gid_ = next_gid(now);
+  gid_ = new_gid;
   group_ = members;
   repaired.oal.append_membership(gid_, group_, now);
   ep_.trace(TraceKind::group_created, gid_,
@@ -1427,7 +1489,14 @@ void TimewheelNode::create_group(util::ProcessSet members,
   set_state(GcState::failure_free);
 
   if (!departed.empty()) delivery_.drop_unordered_from(departed);
-  delivery_.adopt_oal(repaired.oal);
+  const auto adopt = delivery_.adopt_oal(repaired.oal, gid_);
+  if (adopt.divergent > 0) {
+    // Even the creator can discover its own delivered history forked: the
+    // window it just adopted came from a fresher supporter. The supporter
+    // that supplied it is by construction on the winning branch — ask it
+    // for a baseline first.
+    begin_rebaseline(adopt, now, freshest_donor);
+  }
 
   // Send the first decision of the new group.
   order_pending_proposals(repaired.oal, now);
@@ -1713,6 +1782,17 @@ void TimewheelNode::handle_state_transfer(ProcessId from, StateTransfer st) {
                 << ")");
     return;
   }
+  // Epoch fence: a transfer built in an older epoch than the view we have
+  // installed describes a superseded branch — adopting it would rewind our
+  // delivery marks onto the losing side of a heal. (The durable floor above
+  // only protects a recovering process; this protects every member.)
+  if (installed_ && st.gid < gid_) {
+    if (auto* rec = ep_.obs())
+      rec->emit(obs::EvKind::epoch_fence, 1, st.gid, gid_);
+    TW_WARN("p" << self() << ": refusing state transfer from stale epoch "
+                << st.gid << " (installed " << gid_ << ")");
+    return;
+  }
   ++stats_.state_transfers_received;
   TW_DEBUG("p" << self() << " state transfer: " << st.proposals.size()
                << " proposals, " << st.marks.ordered_below.size()
@@ -1740,12 +1820,13 @@ void TimewheelNode::handle_state_transfer(ProcessId from, StateTransfer st) {
     return false;
   });
   for (const auto& p : st.proposals) delivery_.note_proposal(p, now);
-  delivery_.adopt_oal(st.oal);
+  delivery_.adopt_oal(st.oal, st.gid);
   if (awaiting_state_ || recovered_dirty_) {
     const bool was_dirty = recovered_dirty_;
     const auto flushed = buffered_deliveries_.size();
     awaiting_state_ = false;
     recovered_dirty_ = false;  // app state and engine marks re-baselined
+    rejoin_attempts_ = 0;      // solicitation answered: reset the backoff
     cancel_timer(state_wait_timer_);
     flush_buffered_deliveries();
     if (was_dirty) {
@@ -1773,6 +1854,10 @@ void TimewheelNode::install_view(GroupId gid, util::ProcessSet members,
   gid_ = gid;
   group_ = members;
   installed_ = true;
+  // Fence the delivery buffer at the installed epoch: from here on,
+  // windows carried by messages of older epochs (stragglers from the
+  // other side of a heal) are quarantined rather than adopted.
+  delivery_.raise_fence(gid);
   // Persist the installed view before announcing it: after a crash the
   // kernel's gid is the floor below which state transfers are stale.
   if (store_ && !recovered_dirty_) store_->note_view(gid, members.bits());
@@ -1790,7 +1875,8 @@ void TimewheelNode::install_view(GroupId gid, util::ProcessSet members,
       // the integrating decider may have crashed right after deciding).
       awaiting_state_ = true;
       state_request_retries_ = 0;
-      arm_sync_timer(state_wait_timer_, now + slots_.cycle_len(),
+      arm_sync_timer(state_wait_timer_,
+                     now + retry_backoff(0) + retry_jitter(0),
                      [this] { retry_state_request(); });
     }
     flush_pending_proposals(now);
@@ -1801,7 +1887,7 @@ void TimewheelNode::retry_state_request() {
   if (!awaiting_state_) return;
   const auto now = sync_now();
   if (!now) return;
-  if (state_request_retries_ >= 5 || !in_group()) {
+  if (state_request_retries_ >= cfg_.state_retry_limit || !in_group()) {
     TW_WARN("p" << self() << ": state transfer still missing after "
                 << state_request_retries_ << " requests; giving up");
     awaiting_state_ = false;
@@ -1821,12 +1907,75 @@ void TimewheelNode::retry_state_request() {
   for (int i = 1; i < state_request_retries_; ++i)
     target = group_.successor_of(target);
   if (target != kNoProcess && target != self()) {
+    if (auto* rec = ep_.obs())
+      rec->emit(obs::EvKind::rejoin_retry, 0,
+                static_cast<std::uint64_t>(state_request_retries_), target);
     util::ByteWriter w;
     w.u8(net::kind_byte(net::MsgKind::state_request));
     ep_.send(target, std::move(w).take());
   }
-  arm_sync_timer(state_wait_timer_, *now + slots_.cycle_len(),
+  // Exponential backoff with deterministic jitter: after a heal every
+  // member of the losing side re-baselines at once, and a fixed cadence
+  // would hammer the same donor in lockstep each cycle.
+  arm_sync_timer(state_wait_timer_,
+                 *now + retry_backoff(state_request_retries_) +
+                     retry_jitter(state_request_retries_),
                  [this] { retry_state_request(); });
+}
+
+void TimewheelNode::begin_rebaseline(
+    const bcast::DeliveryEngine::AdoptOutcome& outcome, sim::ClockTime now,
+    ProcessId preferred_donor) {
+  if (auto* rec = ep_.obs())
+    rec->emit(obs::EvKind::epoch_fence, 2,
+              static_cast<std::uint64_t>(outcome.divergent),
+              outcome.window_epoch);
+  TW_WARN("p" << self() << ": " << outcome.divergent
+              << " cross-epoch rebind(s) adopting epoch "
+              << outcome.window_epoch
+              << "; re-soliciting a fresh baseline");
+  if (awaiting_state_) return;  // a solicitation is already in flight
+  if (!in_group() || group_.size() < 2) return;  // no donor to ask
+  // Buffer further application deliveries until a state transfer replaces
+  // the forked history, exactly like a joiner integrating into a
+  // pre-existing group.
+  awaiting_state_ = true;
+  state_request_retries_ = 0;
+  if (preferred_donor != kNoProcess && preferred_donor != self() &&
+      group_.contains(preferred_donor)) {
+    if (auto* rec = ep_.obs())
+      rec->emit(obs::EvKind::rejoin_retry, 0, 0, preferred_donor);
+    util::ByteWriter w;
+    w.u8(net::kind_byte(net::MsgKind::state_request));
+    ep_.send(preferred_donor, std::move(w).take());
+    arm_sync_timer(state_wait_timer_,
+                   now + retry_backoff(0) + retry_jitter(0),
+                   [this] { retry_state_request(); });
+  } else {
+    retry_state_request();
+  }
+}
+
+sim::Duration TimewheelNode::retry_backoff(int attempt) const {
+  const sim::Duration base = slots_.cycle_len();
+  const int shift = attempt < 2 ? attempt : 2;
+  const sim::Duration d = base << shift;
+  return d < 4 * base ? d : 4 * base;
+}
+
+sim::Duration TimewheelNode::retry_jitter(int attempt) const {
+  // splitmix64-style avalanche over (self, incarnation, attempt): spreads
+  // simultaneous retriers across a slot without any RNG, so torture replays
+  // stay bit-identical.
+  std::uint64_t z = (static_cast<std::uint64_t>(self()) << 32) ^
+                    (incarnation_ * 0x9e3779b97f4a7c15ULL) ^
+                    ((static_cast<std::uint64_t>(attempt) + 1) *
+                     0xbf58476d1ce4e5b9ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const auto span = static_cast<std::uint64_t>(slots_.slot_len());
+  return span == 0 ? 0 : static_cast<sim::Duration>(z % span);
 }
 
 void TimewheelNode::deliver_to_app(const bcast::Proposal& p,

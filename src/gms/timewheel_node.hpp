@@ -221,6 +221,18 @@ class TimewheelNode final : public net::Handler {
   /// Hand a delivery to the application and persist the watermark.
   void hand_to_app(const bcast::Proposal& p, Ordinal ordinal);
   void retry_state_request();
+  /// React to a cross-epoch rebind reported by adopt_oal: our delivered
+  /// history is a forked branch the installed epoch superseded. Buffer
+  /// further deliveries and re-solicit a fresh baseline (state transfer)
+  /// instead of carrying the divergent lineage into the new epoch.
+  void begin_rebaseline(const bcast::DeliveryEngine::AdoptOutcome& outcome,
+                        sim::ClockTime now,
+                        ProcessId preferred_donor = kNoProcess);
+  /// Exponential backoff (capped) for solicitation retries.
+  [[nodiscard]] sim::Duration retry_backoff(int attempt) const;
+  /// Deterministic per-process jitter so healed teams don't retry in
+  /// lockstep (derived from self/incarnation/attempt; no RNG, replayable).
+  [[nodiscard]] sim::Duration retry_jitter(int attempt) const;
   void flush_buffered_deliveries();
   void run_delivery(sim::ClockTime now);
   void flush_pending_proposals(sim::ClockTime now);
@@ -338,6 +350,8 @@ class TimewheelNode final : public net::Handler {
   GroupId durable_gid_floor_ = 0;
   sim::ClockTime last_rejoin_ts_ = -1;
   ProcessId rejoin_target_ = kNoProcess;
+  /// Consecutive unanswered rejoin solicitations (drives the backoff).
+  int rejoin_attempts_ = 0;
 
   // Watchdog for the join fallback (see NodeConfig::join_fallback_cycles).
   sim::ClockTime n_failure_since_ = -1;

@@ -66,6 +66,19 @@ enum class EvKind : std::uint8_t {
   store_open = 16,
   rejoin_request = 17,
   rehabilitated = 18,
+
+  // epoch fencing (heal-path hardening). epoch_fence: arg = 0 fence
+  // raised (a = new fence, b = old), arg = 1 stale-epoch control message
+  // refused (a = message gid, b = our gid), arg = 2 divergence detected —
+  // the node re-solicits a fresh baseline (a = divergent rebinds,
+  // b = window epoch). oal_quarantined: arg = 0 whole stale window
+  // refused (a = window epoch, b = fence), arg = 1 cross-epoch ordinal
+  // rebind (a = ordinal, b = old bind epoch << 32 | new epoch).
+  // rejoin_retry: arg = 0 state-request retry / 1 rejoin solicitation
+  // (a = attempt number, b = target member).
+  epoch_fence = 19,
+  oal_quarantined = 20,
+  rejoin_retry = 21,
 };
 
 /// Why a datagram was dropped at or before the receive path.

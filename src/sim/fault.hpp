@@ -49,6 +49,37 @@ class FaultScript {
     return *this;
   }
 
+  /// Flapping partition: the same cut opens and heals `cycles` times,
+  /// one full open+heal per `period`. Each heal is a fresh merge — the
+  /// membership layer must survive repeated lineage reconciliation with
+  /// barely any stable time between cuts.
+  FaultScript& flap_at(SimTime t, std::vector<util::ProcessSet> groups,
+                       int cycles, Duration period) {
+    for (int i = 0; i < cycles; ++i) {
+      const SimTime cut = t + static_cast<SimTime>(i) * period;
+      partition_at(cut, groups);
+      heal_at(cut + period / 2);
+    }
+    return *this;
+  }
+
+  /// Asymmetric (one-way) cut: p can still send towards `to`, but hears
+  /// nothing back from them (`inbound`), or the reverse (`!inbound`).
+  /// Exercises the half-open failure mode where suspicion is one-sided.
+  FaultScript& oneway_at(SimTime t, ProcessId p, util::ProcessSet to,
+                         bool inbound) {
+    sim_.at(t, [this, p, to, inbound] {
+      for (ProcessId q : to) {
+        if (q == p) continue;
+        if (inbound)
+          net_.set_link(q, p, false);
+        else
+          net_.set_link(p, q, false);
+      }
+    });
+    return *this;
+  }
+
   FaultScript& isolate_at(SimTime t, ProcessId p) {
     util::ProcessSet rest =
         util::ProcessSet::full(static_cast<ProcessId>(procs_.size()));

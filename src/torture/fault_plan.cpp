@@ -50,6 +50,8 @@ const char* fault_type_name(FaultType t) {
     case FaultType::store_torn: return "store_torn";
     case FaultType::store_flip: return "store_flip";
     case FaultType::store_fsync: return "store_fsync";
+    case FaultType::flap: return "flap";
+    case FaultType::oneway: return "oneway";
   }
   return "?";
 }
@@ -103,6 +105,14 @@ std::string FaultOp::to_string() const {
     case FaultType::store_fsync:
       os << " p" << p << " x" << count;
       break;
+    case FaultType::flap:
+      os << " side " << targets.to_string() << " x" << count << " every "
+         << sim::to_ms(dur) << "ms";
+      break;
+    case FaultType::oneway:
+      os << " p" << p << (kind != 0 ? " deaf to " : " mute towards ")
+         << targets.to_string();
+      break;
   }
   return os.str();
 }
@@ -148,6 +158,23 @@ FaultPlan generate_plan(const TortureConfig& cfg, std::uint64_t seed) {
     return count;
   };
 
+  // A uniformly random majority-sized side drawn from the live processes
+  // (partition, flap and the heal-during-state-transfer composite all keep
+  // the §3 failure assumption by construction).
+  auto majority_side = [&] {
+    std::vector<ProcessId> ups;
+    for (ProcessId q = 0; q < n; ++q)
+      if (up[q]) ups.push_back(q);
+    for (std::size_t i = ups.size(); i > 1; --i)
+      std::swap(ups[i - 1],
+                ups[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+    util::ProcessSet side;
+    for (int i = 0; i < majority; ++i)
+      side.insert(ups[static_cast<std::size_t>(i)]);
+    return side;
+  };
+
   sim::SimTime partitioned_until = -1;
   sim::SimTime t = cfg.fault_start;
   for (;;) {
@@ -156,7 +183,7 @@ FaultPlan generate_plan(const TortureConfig& cfg, std::uint64_t seed) {
     FaultOp op;
     op.at = t;
     const auto p = static_cast<ProcessId>(rng.uniform_int(0, cfg.n - 1));
-    switch (rng.uniform_int(0, 12)) {
+    switch (rng.uniform_int(0, 15)) {
       case 0:
       case 1:  // crash, if the failure assumption allows it
         if (cfg.crashes && up[p] && t >= partitioned_until &&
@@ -190,19 +217,8 @@ FaultPlan generate_plan(const TortureConfig& cfg, std::uint64_t seed) {
       case 5:  // partition with a majority side, healed shortly after
         if (cfg.partitions && t >= partitioned_until &&
             up_count >= majority) {
-          std::vector<ProcessId> ups;
-          for (ProcessId q = 0; q < n; ++q)
-            if (up[q]) ups.push_back(q);
-          for (std::size_t i = ups.size(); i > 1; --i)
-            std::swap(ups[i - 1],
-                      ups[static_cast<std::size_t>(
-                          rng.uniform_int(0, static_cast<std::int64_t>(i) -
-                                                 1))]);
-          util::ProcessSet side;
-          for (int i = 0; i < majority; ++i)
-            side.insert(ups[static_cast<std::size_t>(i)]);
           op.type = FaultType::partition;
-          op.targets = side;
+          op.targets = majority_side();
           plan.ops.push_back(op);
           FaultOp heal;
           heal.at = std::min(t + rng.uniform_int(sim::msec(500),
@@ -275,6 +291,67 @@ FaultPlan generate_plan(const TortureConfig& cfg, std::uint64_t seed) {
           op.step = rng.uniform_int(sim::msec(1), sim::msec(120));
           if (rng.chance(0.5)) op.step = -op.step;
           plan.ops.push_back(op);
+        }
+        break;
+      case 12:  // flapping partition: the same cut opens and heals x count
+        if (cfg.partitions && t >= partitioned_until &&
+            up_count >= majority) {
+          const int cycles = static_cast<int>(rng.uniform_int(2, 4));
+          const sim::Duration period =
+              rng.uniform_int(sim::msec(300), sim::msec(900));
+          const auto flap_end =
+              t + static_cast<sim::SimTime>(cycles) * period;
+          if (flap_end < cfg.fault_end) {
+            op.type = FaultType::flap;
+            op.targets = majority_side();
+            op.count = cycles;
+            op.dur = period;
+            plan.ops.push_back(op);
+            partitioned_until = flap_end;
+          }
+        }
+        break;
+      case 13:  // asymmetric cut: p keeps sending but goes deaf (or mute)
+        if (cfg.partitions && up[p] && t >= partitioned_until &&
+            up_count >= majority) {
+          op.type = FaultType::oneway;
+          op.p = p;
+          op.kind = rng.chance(0.5) ? 1 : 0;
+          op.targets = everyone.minus(util::ProcessSet{p});
+          plan.ops.push_back(op);
+          FaultOp heal;
+          heal.at = std::min(t + rng.uniform_int(sim::msec(400),
+                                                 sim::msec(1800)),
+                             cfg.fault_end);
+          heal.type = FaultType::heal;
+          plan.ops.push_back(heal);
+          partitioned_until = heal.at;
+        }
+        break;
+      case 14:  // recover straight into a cut that heals mid state-transfer
+        if (cfg.partitions && !up[p] && t >= partitioned_until) {
+          op.type = FaultType::recover;
+          op.p = p;
+          up[p] = true;
+          up_since[p] = t;
+          ++up_count;
+          plan.ops.push_back(op);
+          const auto cut_at =
+              t + rng.uniform_int(sim::msec(100), sim::msec(400));
+          if (up_count >= majority && cut_at < cfg.fault_end) {
+            FaultOp cut;
+            cut.at = cut_at;
+            cut.type = FaultType::partition;
+            cut.targets = majority_side();
+            plan.ops.push_back(cut);
+            FaultOp heal;
+            heal.at = std::min(cut.at + rng.uniform_int(sim::msec(300),
+                                                        sim::msec(1200)),
+                               cfg.fault_end);
+            heal.type = FaultType::heal;
+            plan.ops.push_back(heal);
+            partitioned_until = heal.at;
+          }
         }
         break;
       default:  // hardware-clock drift change
@@ -370,6 +447,13 @@ void apply_plan(const FaultPlan& plan, gms::SimHarness& harness) {
         break;
       case FaultType::heal:
         faults.heal_at(op.at);
+        break;
+      case FaultType::flap:
+        faults.flap_at(op.at, {op.targets, everyone.minus(op.targets)},
+                       op.count, op.dur);
+        break;
+      case FaultType::oneway:
+        faults.oneway_at(op.at, op.p, op.targets, op.kind != 0);
         break;
       case FaultType::drop_rule:
         faults.drop_at(op.at, op.p, op.kind, op.targets, op.count);
@@ -508,7 +592,7 @@ bool plan_from_string(const std::string& text, FaultPlan& out) {
           op.model.reorder_prob >> op.model.corrupt_prob >> structural;
       if (ls.fail()) return false;
       bool found = false;
-      for (int ti = 0; ti <= static_cast<int>(FaultType::store_fsync);
+      for (int ti = 0; ti <= static_cast<int>(FaultType::oneway);
            ++ti) {
         if (type_name == fault_type_name(static_cast<FaultType>(ti))) {
           op.type = static_cast<FaultType>(ti);

@@ -44,6 +44,10 @@ enum class FaultType : std::uint8_t {
   store_torn,   ///< arm `count` torn appends keeping `kind` percent
   store_flip,   ///< flip media bit `step` of the log (kind=0) / snap (kind=1)
   store_fsync,  ///< arm `count` failing sync barriers
+  // Heal-focused primitives (append-only: plan files name ops by string,
+  // but the parser bound below must track the last enumerator).
+  flap,    ///< targets flaps vs the rest: `count` cuts, one per `dur`
+  oneway,  ///< p loses its inbound (kind=1) / outbound (kind=0) links to targets
 };
 
 [[nodiscard]] const char* fault_type_name(FaultType t);

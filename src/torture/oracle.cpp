@@ -1,8 +1,10 @@
 #include "torture/oracle.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <sstream>
+#include <string_view>
 
 namespace tw::torture {
 
@@ -112,9 +114,42 @@ OracleReport run_oracle(gms::SimHarness& harness, const FaultPlan& plan) {
   }
 
   // §3 safety: view agreement, single decider, majority, and majority
-  // group-history (lineage) agreement over the converged group.
-  for (auto&& e : harness.check_majority_agreement_invariants(everyone))
-    report.violations.push_back(e);
+  // group-history (lineage) agreement over the converged group. A lineage
+  // ordinal conflict is further classified from the trace: if some process
+  // recorded a cross-epoch ordinal rebind (oal_quarantined arg=1) at the
+  // conflicting ordinal, the fork crossed a heal — report the offending
+  // epochs; otherwise the lineage forked within a single epoch.
+  {
+    auto safety = harness.check_majority_agreement_invariants(everyone);
+    constexpr std::string_view kConflict = "lineage ordinal conflict at ";
+    std::vector<obs::Event> rebinds;
+    bool scanned = false;
+    for (std::string& v : safety) {
+      if (v.compare(0, kConflict.size(), kConflict) == 0) {
+        if (!scanned) {
+          scanned = true;
+          for (const auto& e : harness.merged_trace())
+            if (e.kind == obs::EvKind::oal_quarantined && e.arg == 1)
+              rebinds.push_back(e);
+        }
+        const auto ord =
+            std::strtoull(v.c_str() + kConflict.size(), nullptr, 10);
+        const obs::Event* hit = nullptr;
+        for (const auto& e : rebinds)
+          if (e.a == ord) { hit = &e; break; }
+        if (hit != nullptr) {
+          v += " — cross-epoch rebind on p" + std::to_string(hit->p) +
+               ": binding from epoch " + std::to_string(hit->b >> 32) +
+               " rebound under epoch " +
+               std::to_string(hit->b & 0xffffffffULL);
+        } else {
+          v += " — same-epoch lineage fork (no cross-epoch rebind"
+               " recorded)";
+        }
+      }
+      report.violations.push_back(std::move(v));
+    }
+  }
 
   // Rehabilitation liveness: every process that crashed during the fault
   // window was recovered by the structural epilogue at fault_end, a full
@@ -123,7 +158,22 @@ OracleReport run_oracle(gms::SimHarness& harness, const FaultPlan& plan) {
   // pre-crash membership without replica state, exactly the deadlock the
   // rejoin solicitation exists to break — and none may still be buffering
   // application deliveries behind a state transfer that never came.
+  // A node actively mid-solicitation is NOT wedged: group churn (or a
+  // divergence re-baseline) can start a state transfer in the last
+  // moments of the quiet tail. Grant a bounded grace — the solicitation
+  // machinery's own give-up horizon — before calling it a violation; a
+  // genuinely wedged zombie is still dirty when the grace runs out.
   if (report.converged) {
+    const sim::Duration grace_step = sim::msec(500);
+    for (int i = 0; i < 16; ++i) {
+      bool busy = false;
+      for (ProcessId p = 0; p < n; ++p) {
+        const auto& node = harness.node(p);
+        if (node.recovered_dirty() || node.awaiting_state()) busy = true;
+      }
+      if (!busy) break;
+      harness.run_for(grace_step);
+    }
     for (ProcessId p = 0; p < n; ++p) {
       const auto& node = harness.node(p);
       if (node.recovered_dirty() || node.awaiting_state()) {

@@ -229,7 +229,7 @@ TEST(Delivery, TombstonePreventsRedeliveryAfterPurge) {
   ASSERT_EQ(rig.delivered.size(), 1u);
   // Entry purged from the window; late duplicate re-arrives.
   Oal purged;
-  purged.reset_base(1);
+  purged.seed_base(1);
   rig.engine.adopt_oal(purged);
   EXPECT_FALSE(rig.engine.note_proposal(p, 2000));
   rig.engine.try_deliver(2000, kGroup);
@@ -357,6 +357,92 @@ TEST(Delivery, HighestKnownOrdinalTracksWindow) {
   oal.append_update(Rig::proposal(1, 6, Order::total, Atomicity::weak), {});
   rig.engine.adopt_oal(oal);
   EXPECT_EQ(rig.engine.highest_known_ordinal(), 1u);
+}
+
+TEST(Delivery, StaleEpochWindowQuarantinedByFence) {
+  Rig rig;
+  rig.engine.raise_fence(10);
+  rig.engine.note_proposal(
+      Rig::proposal(1, 5, Order::total, Atomicity::weak), 1000);
+
+  // A window fenced below the installed epoch is refused wholesale: no
+  // binding happens and nothing becomes deliverable through it.
+  Oal stale;
+  stale.set_epoch(4);
+  stale.append_update(Rig::proposal(1, 5, Order::total, Atomicity::weak),
+                      {});
+  const auto out = rig.engine.adopt_oal(stale, 4);
+  EXPECT_TRUE(out.quarantined);
+  EXPECT_EQ(out.rebinds, 0);
+  EXPECT_EQ(out.window_epoch, 4u);
+  rig.engine.try_deliver(1001, kGroup);
+  EXPECT_TRUE(rig.delivered.empty());
+
+  // The same content at the fence epoch is adopted normally.
+  Oal fresh;
+  fresh.set_epoch(10);
+  fresh.append_update(Rig::proposal(1, 5, Order::total, Atomicity::weak),
+                      {});
+  EXPECT_FALSE(rig.engine.adopt_oal(fresh, 10).quarantined);
+  rig.engine.try_deliver(1002, kGroup);
+  ASSERT_EQ(rig.delivered.size(), 1u);
+}
+
+TEST(Delivery, ClockSeededBaseCollidingWithOldEpochNotMerged) {
+  // The straggler delivered ordinal 500 under epoch 3. A re-formed team
+  // (every survivor's knowledge lost) clock-seeds a fresh base that lands
+  // on the same ordinals under epoch 7 and binds a different proposal
+  // there. Adopting that window must surface the fork as divergent — and
+  // must NOT leave the stale binding in place — rather than merging the
+  // two histories.
+  Rig rig;
+  Oal old_epoch;
+  old_epoch.seed_base(500, 3);
+  old_epoch.append_update(
+      Rig::proposal(1, 5, Order::total, Atomicity::weak), {});
+  rig.engine.note_proposal(
+      Rig::proposal(1, 5, Order::total, Atomicity::weak), 1000);
+  rig.engine.adopt_oal(old_epoch, 3);
+  rig.engine.try_deliver(1001, kGroup);
+  ASSERT_EQ(rig.delivered.size(), 1u);
+  ASSERT_EQ(rig.delivered[0].second, 500u);
+
+  Oal reseeded;
+  reseeded.seed_base(500, 7);
+  reseeded.append_update(
+      Rig::proposal(2, 9, Order::total, Atomicity::weak), {});
+  const auto out = rig.engine.adopt_oal(reseeded, 7);
+  EXPECT_FALSE(out.quarantined);  // newer epoch: the window itself wins
+  EXPECT_EQ(out.divergent, 1);    // ...but the delivered binding forked
+  EXPECT_EQ(out.window_epoch, 7u);
+}
+
+TEST(Delivery, UndeliveredStaleBindingUnboundWithoutDivergence) {
+  // Same collision, but the old-epoch binding was never delivered: the
+  // stale binding is silently dropped (no fork in the delivered history)
+  // and the proposal re-binds through the new window only.
+  Rig rig;
+  Oal old_epoch;
+  old_epoch.seed_base(500, 3);
+  old_epoch.append_update(
+      Rig::proposal(1, 5, Order::total, Atomicity::weak), {});
+  rig.engine.adopt_oal(old_epoch, 3);  // not delivered: payload not held
+
+  Oal reseeded;
+  reseeded.seed_base(500, 7);
+  reseeded.append_update(
+      Rig::proposal(2, 9, Order::total, Atomicity::weak), {});
+  const auto out = rig.engine.adopt_oal(reseeded, 7);
+  EXPECT_FALSE(out.quarantined);
+  EXPECT_EQ(out.divergent, 0);
+
+  // Only the new epoch's binding delivers.
+  rig.engine.note_proposal(
+      Rig::proposal(2, 9, Order::total, Atomicity::weak), 1000);
+  rig.engine.try_deliver(1001, kGroup);
+  ASSERT_EQ(rig.delivered.size(), 1u);
+  EXPECT_EQ(rig.delivered[0].first, (ProposalId{2, 9}));
+  EXPECT_EQ(rig.delivered[0].second, 500u);
 }
 
 TEST(Delivery, ResetForgetsEverything) {

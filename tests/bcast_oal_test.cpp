@@ -161,12 +161,96 @@ TEST(Oal, DecodeRejectsNonContiguousOrdinals) {
   EXPECT_THROW(Oal::decode(r), util::DecodeError);
 }
 
-TEST(Oal, ResetBaseOnlyWhenEmpty) {
+TEST(Oal, SeedBaseOnlyWhenEmpty) {
   Oal oal;
-  oal.reset_base(1000);
+  oal.seed_base(1000);
   EXPECT_EQ(oal.next_ordinal(), 1000u);
   EXPECT_EQ(oal.append_update(make_proposal(1, 10), {}), 1000u);
-  EXPECT_THROW(oal.reset_base(2000), util::AssertionError);
+  EXPECT_THROW(oal.seed_base(2000), util::AssertionError);
+}
+
+TEST(Oal, EpochStampsAppendsAndSurvivesTheWire) {
+  Oal oal;
+  oal.append_update(make_proposal(1, 10), {});  // pre-fence: epoch 0
+  oal.set_epoch(7);
+  oal.append_update(make_proposal(2, 20), {});
+  // A membership descriptor for an OLDER gid cannot lower the epoch: the
+  // window stays stamped with the newest group it was produced under.
+  oal.append_membership(6, util::ProcessSet({0, 1}), 50);
+  EXPECT_EQ(oal.epoch(), 7u);
+  EXPECT_EQ(oal.find_ordinal(0)->epoch, 0u);
+  EXPECT_EQ(oal.find_ordinal(1)->epoch, 7u);
+  EXPECT_EQ(oal.find_ordinal(2)->epoch, 7u);
+
+  util::ByteWriter w;
+  oal.encode(w);
+  util::ByteReader r(w.view());
+  const Oal out = Oal::decode(r);
+  r.expect_done();
+  // The window epoch is not its own wire field: decode re-derives it from
+  // the entry stamps.
+  EXPECT_EQ(out.epoch(), 7u);
+  EXPECT_EQ(out.find_ordinal(0)->epoch, 0u);
+  EXPECT_EQ(out.find_ordinal(1)->epoch, 7u);
+  EXPECT_EQ(out.find_ordinal(2)->epoch, 7u);
+}
+
+TEST(Oal, EpochZeroEncodingStaysLegacyCompatible) {
+  // An unfenced window must encode exactly as the pre-epoch wire format
+  // did (the epoch rides a flag bit + trailing varint, present only when
+  // nonzero), so old payloads decode and new epoch-0 payloads are
+  // byte-identical to what an old encoder produced.
+  Oal legacy, fenced;
+  legacy.append_update(make_proposal(1, 10), util::ProcessSet({0}));
+  fenced.set_epoch(3);
+  fenced.append_update(make_proposal(1, 10), util::ProcessSet({0}));
+
+  util::ByteWriter wl, wf;
+  legacy.encode(wl);
+  fenced.encode(wf);
+  EXPECT_GT(wf.view().size(), wl.view().size());
+
+  util::ByteReader r(wl.view());
+  const Oal out = Oal::decode(r);
+  r.expect_done();
+  EXPECT_EQ(out.epoch(), 0u);
+  EXPECT_EQ(out.find_ordinal(0)->epoch, 0u);
+}
+
+TEST(Oal, MergeRefusesAcksFromForkedIdentity) {
+  // `b` binds the shared ordinal to a DIFFERENT proposal — a forked
+  // history. Its acks and undeliverable mark must not leak into `a`, or a
+  // stability gate could be satisfied by acknowledgements of another
+  // update.
+  Oal a, b;
+  a.append_update(make_proposal(1, 10), util::ProcessSet({0}));
+  b.append_update(make_proposal(3, 30), util::ProcessSet({1, 2}));
+  b.find_ordinal(0)->undeliverable = true;
+  a.merge_acks_from(b);
+  EXPECT_EQ(a.find_ordinal(0)->acks, util::ProcessSet({0}));
+  EXPECT_FALSE(a.find_ordinal(0)->undeliverable);
+}
+
+TEST(Oal, MergeUpgradesLegacyEntryStampsOnly) {
+  // Merging acks from a same-identity copy upgrades a legacy (epoch-0)
+  // entry stamp, but leaves the WINDOW epoch alone: the window's epoch
+  // records which group produced it, not the newest epoch it has heard of.
+  Oal a, b;
+  a.append_update(make_proposal(1, 10), util::ProcessSet({0}));
+  b.set_epoch(9);
+  b.append_update(make_proposal(1, 10), util::ProcessSet({2}));
+  a.merge_acks_from(b);
+  EXPECT_EQ(a.find_ordinal(0)->epoch, 9u);
+  EXPECT_EQ(a.find_ordinal(0)->acks, util::ProcessSet({0, 2}));
+  EXPECT_EQ(a.epoch(), 0u);
+}
+
+TEST(Oal, SeedBaseStampsEpoch) {
+  Oal oal;
+  oal.seed_base(5000, 11);
+  EXPECT_EQ(oal.epoch(), 11u);
+  oal.append_update(make_proposal(1, 10), {});
+  EXPECT_EQ(oal.find_ordinal(5000)->epoch, 11u);
 }
 
 TEST(Oal, PrefixCompatibility) {

@@ -1,0 +1,186 @@
+// Heal-path regression suite for the epoch-fencing work.
+//
+// The partition-heal lineage race (a healed minority rebinding stale oal
+// descriptors into the merged epoch, forking the delivery lineage) is
+// pinned as replayable plan files under tests/plans/:
+//
+//   lineage_conflict_heal.plan   the originally-minimized failing schedule
+//   seed10_heal_regression.plan  full seed-10 schedule, max_batch=4
+//   seed87_heal_regression.plan  full seed-87 schedule, max_batch=4
+//
+// Each must now run to a clean oracle verdict. The suite also covers the
+// heal-focused fault primitives added alongside the fix: flapping
+// partitions, asymmetric one-way cuts, and the recover-into-a-cut
+// composite, both structurally (generator keeps the §3 majority
+// assumption) and end to end (a hand-written flap+oneway schedule passes
+// the oracle).
+#include "torture/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "torture/fault_plan.hpp"
+
+#ifndef TW_PLANS_DIR
+#error "TW_PLANS_DIR must point at tests/plans"
+#endif
+
+namespace tw::torture {
+namespace {
+
+testing::AssertionResult load_plan(const std::string& name, FaultPlan& out) {
+  const std::string path = std::string(TW_PLANS_DIR) + "/" + name;
+  std::ifstream in(path);
+  if (!in) return testing::AssertionFailure() << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!plan_from_string(text.str(), out))
+    return testing::AssertionFailure() << "cannot parse " << path;
+  if (out.ops.empty())
+    return testing::AssertionFailure() << path << " has no fault ops";
+  return testing::AssertionSuccess();
+}
+
+void replay_clean(const std::string& name, int expect_batch) {
+  FaultPlan plan;
+  ASSERT_TRUE(load_plan(name, plan));
+  EXPECT_EQ(plan.cfg.max_batch, expect_batch);
+  const TortureEngine engine(plan.cfg);
+  const RunResult r = engine.run_plan(plan);
+  EXPECT_TRUE(r.passed()) << r.report.to_string();
+  EXPECT_TRUE(r.report.converged);
+}
+
+// The minimized schedule that originally forked the lineage across a heal.
+TEST(TortureHeal, LineageConflictHealPlanReplaysClean) {
+  replay_clean("lineage_conflict_heal.plan", 4);
+}
+
+// The two full batched seed schedules that exposed the race (seed 10: a
+// cross-epoch rebind adopting a healed window; seed 87: a same-epoch
+// decider-rotation fork), pinned against generator changes.
+TEST(TortureHeal, Seed10BatchedScheduleReplaysClean) {
+  replay_clean("seed10_heal_regression.plan", 4);
+}
+
+TEST(TortureHeal, Seed87BatchedScheduleReplaysClean) {
+  replay_clean("seed87_heal_regression.plan", 4);
+}
+
+TEST(TortureHeal, GeneratorFlapAndOnewayKeepMajorityAssumption) {
+  TortureConfig cfg;
+  cfg.fault_start = sim::sec(2);
+  cfg.fault_end = sim::sec(8);
+  cfg.settle = sim::sec(25);
+  cfg.quiet_tail = sim::sec(1);
+  const int majority = cfg.n / 2 + 1;
+  bool saw_flap = false, saw_oneway = false;
+  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+    const FaultPlan plan = generate_plan(cfg, seed);
+    for (const FaultOp& op : plan.ops) {
+      if (op.type == FaultType::flap) {
+        saw_flap = true;
+        // The surviving side is a majority, the cycle parameters are sane,
+        // and the last embedded heal lands inside the fault window (the
+        // epilogue is not what un-cuts a flap).
+        EXPECT_GE(static_cast<int>(op.targets.size()), majority);
+        EXPECT_GE(op.count, 2);
+        EXPECT_GT(op.dur, 0);
+        EXPECT_LT(op.at + static_cast<sim::SimTime>(op.count) * op.dur,
+                  cfg.fault_end)
+            << "seed " << seed;
+      } else if (op.type == FaultType::oneway) {
+        saw_oneway = true;
+        // A one-way cut severs p's links to everyone else in one
+        // direction only; p itself is never in the target set.
+        EXPECT_FALSE(op.targets.contains(op.p)) << "seed " << seed;
+        EXPECT_FALSE(op.targets.empty());
+      }
+    }
+  }
+  EXPECT_TRUE(saw_flap);
+  EXPECT_TRUE(saw_oneway);
+}
+
+TEST(TortureHeal, HandWrittenFlapAndOnewayPlanPassesOracle) {
+  TortureConfig cfg;
+  cfg.fault_start = sim::sec(2);
+  cfg.fault_end = sim::sec(7);
+  cfg.settle = sim::sec(25);
+  cfg.quiet_tail = sim::sec(1);
+  const auto n = static_cast<ProcessId>(cfg.n);
+
+  FaultPlan plan;
+  plan.cfg = cfg;
+  plan.seed = 5;
+
+  // Three rapid cut/heal cycles against {0,1,2}, then p4 goes deaf to the
+  // rest (it keeps sending, hears nothing) until the epilogue heal.
+  FaultOp flap;
+  flap.at = cfg.fault_start + sim::msec(500);
+  flap.type = FaultType::flap;
+  flap.targets = util::ProcessSet{0, 1, 2};
+  flap.count = 3;
+  flap.dur = sim::msec(400);
+  plan.ops.push_back(flap);
+
+  FaultOp oneway;
+  oneway.at = cfg.fault_start + sim::msec(2500);
+  oneway.type = FaultType::oneway;
+  oneway.p = 4;
+  oneway.kind = 1;  // inbound: deaf
+  oneway.targets = util::ProcessSet::full(n);
+  oneway.targets.erase(4);
+  plan.ops.push_back(oneway);
+
+  FaultOp heal;
+  heal.at = cfg.fault_end;
+  heal.type = FaultType::heal;
+  heal.structural = true;
+  plan.ops.push_back(heal);
+
+  std::uint64_t tag = 1;
+  for (sim::SimTime w = cfg.fault_start; w < cfg.fault_end;
+       w += sim::msec(200)) {
+    WorkloadOp wop;
+    wop.at = w;
+    wop.proposer =
+        static_cast<ProcessId>(tag % static_cast<std::uint64_t>(cfg.n));
+    wop.tag = tag++;
+    plan.workload.push_back(wop);
+  }
+
+  const TortureEngine engine(cfg);
+  const RunResult r = engine.run_plan(plan);
+  EXPECT_TRUE(r.passed()) << r.report.to_string();
+  EXPECT_TRUE(r.report.converged);
+}
+
+TEST(TortureHeal, NewOpsSerializationRoundTrip) {
+  TortureConfig cfg;
+  cfg.fault_start = sim::sec(2);
+  cfg.fault_end = sim::sec(8);
+  // Find a seed whose schedule contains both new op types and round-trip
+  // it through the plan-file format.
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const FaultPlan plan = generate_plan(cfg, seed);
+    bool flap = false, oneway = false;
+    for (const FaultOp& op : plan.ops) {
+      flap = flap || op.type == FaultType::flap;
+      oneway = oneway || op.type == FaultType::oneway;
+    }
+    if (!flap || !oneway) continue;
+    const std::string text = plan_to_string(plan);
+    FaultPlan parsed;
+    ASSERT_TRUE(plan_from_string(text, parsed));
+    EXPECT_EQ(plan_to_string(parsed), text);
+    return;
+  }
+  FAIL() << "no seed in 1..200 generated both flap and oneway ops";
+}
+
+}  // namespace
+}  // namespace tw::torture

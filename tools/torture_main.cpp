@@ -183,15 +183,29 @@ int main(int argc, char** argv) {
       return 2;
     }
     const torture::RunResult run = engine.run_plan(plan);
+    if (digest_only) {
+      std::printf("%s %016llx\n", replay_file.c_str(),
+                  static_cast<unsigned long long>(run.report.trace_digest));
+      // Digest mode must still be loud about violations: a CI job diffing
+      // digests would otherwise green-light a failing replay.
+      if (!run.passed())
+        std::fprintf(stderr, "replay of %s FAILED:\n%s\n",
+                     replay_file.c_str(), run.report.to_string().c_str());
+      return run.passed() ? 0 : 1;
+    }
     std::printf("replay of %s: %s\n", replay_file.c_str(),
                 run.report.to_string().c_str());
-    if (!run.passed() && !run.trace_jsonl.empty()) {
-      // A replayed plan is already minimal; dump its trace beside it.
-      const std::string trace_file = replay_file + ".trace.jsonl";
-      std::ofstream tout(trace_file);
-      tout << run.trace_jsonl;
-      std::printf("merged trace: %s  (inspect with twtrace)\n",
-                  trace_file.c_str());
+    if (!run.passed()) {
+      // A replayed plan is already minimal; name it and dump its trace
+      // beside it, mirroring what a failing seed run reports.
+      std::printf("plan: %s\n", replay_file.c_str());
+      if (!run.trace_jsonl.empty()) {
+        const std::string trace_file = replay_file + ".trace.jsonl";
+        std::ofstream tout(trace_file);
+        tout << run.trace_jsonl;
+        std::printf("merged trace: %s  (inspect with twtrace)\n",
+                    trace_file.c_str());
+      }
     }
     return run.passed() ? 0 : 1;
   }
