@@ -8,9 +8,12 @@ ThreadPerEventDemux::ThreadPerEventDemux(std::vector<EventFn> handlers)
     workers_[t].thread = std::thread([this, t] { worker_main(t); });
 }
 
-ThreadPerEventDemux::~ThreadPerEventDemux() {
+ThreadPerEventDemux::~ThreadPerEventDemux() { shutdown(); }
+
+void ThreadPerEventDemux::shutdown() {
   {
     std::lock_guard lock(mu_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   cv_.notify_all();
@@ -18,13 +21,18 @@ ThreadPerEventDemux::~ThreadPerEventDemux() {
     if (w.thread.joinable()) w.thread.join();
 }
 
-void ThreadPerEventDemux::post(EventTypeId type, std::uint64_t payload) {
+bool ThreadPerEventDemux::post(EventTypeId type, std::uint64_t payload) {
   {
     std::lock_guard lock(mu_);
+    // Once shutdown_ is set the workers are exiting (or gone): an event
+    // enqueued now would never be processed and drain() would block on its
+    // pending_ count forever. Refuse it instead.
+    if (shutdown_) return false;
     workers_.at(type).queue.push_back(payload);
     ++pending_;
   }
   cv_.notify_all();
+  return true;
 }
 
 void ThreadPerEventDemux::drain() {

@@ -60,10 +60,17 @@ class ThreadPerEventDemux {
   ThreadPerEventDemux(const ThreadPerEventDemux&) = delete;
   ThreadPerEventDemux& operator=(const ThreadPerEventDemux&) = delete;
 
-  void post(EventTypeId type, std::uint64_t payload);
+  /// Enqueue `payload` for `type`'s worker. Returns false (and enqueues
+  /// nothing) once shutdown() has run: accepting the event would strand it
+  /// in a queue no worker will ever drain, deadlocking drain().
+  bool post(EventTypeId type, std::uint64_t payload);
 
   /// Block until every posted event has been processed.
   void drain();
+
+  /// Drain outstanding work and join the workers. Idempotent; called by
+  /// the destructor. After shutdown, post() rejects.
+  void shutdown();
 
  private:
   struct Worker {

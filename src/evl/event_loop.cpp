@@ -14,7 +14,7 @@
 
 namespace tw::evl {
 
-EventLoop::EventLoop() {
+EventLoop::EventLoop() : timers_(mono_now_us()) {
 #if defined(__linux__)
   wake_rd_ = wake_wr_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (wake_rd_ >= 0) return;
@@ -31,6 +31,7 @@ EventLoop::EventLoop() {
 }
 
 EventLoop::~EventLoop() {
+  set_recorder(nullptr);  // unregister the wheel metrics source
   if (wake_rd_ >= 0) ::close(wake_rd_);
   if (wake_wr_ >= 0 && wake_wr_ != wake_rd_) ::close(wake_wr_);
 }
@@ -46,6 +47,37 @@ void EventLoop::watch_fd(int fd, std::function<void()> on_readable) {
 }
 
 void EventLoop::unwatch_fd(int fd) { fd_handlers_.erase(fd); }
+
+void EventLoop::set_recorder(obs::Recorder* recorder) {
+  if (metrics_registry_ != nullptr) {
+    metrics_registry_->unregister_source(wheel_source_);
+    metrics_registry_ = nullptr;
+    wheel_source_ = 0;
+  }
+  recorder_ = recorder;
+  poll_eintr_ = nullptr;
+  poll_errors_ = nullptr;
+  if (recorder_ == nullptr || recorder_->registry() == nullptr) return;
+  obs::Registry& reg = *recorder_->registry();
+  poll_eintr_ = &reg.counter("evl.poll_eintr");
+  poll_errors_ = &reg.counter("evl.poll_error");
+  metrics_registry_ = &reg;
+  wheel_source_ = reg.register_source(
+      [this](std::map<std::string, std::uint64_t>& out) {
+        const TimerWheel::Stats& s = timers_.stats();
+        out["evl.wheel.size"] = timers_.size();
+        out["evl.wheel.ready"] = timers_.ready_size();
+        for (int level = 0; level < TimerWheel::kLevels; ++level)
+          out["evl.wheel.level" + std::to_string(level)] =
+              timers_.level_size(level);
+        out["evl.wheel.scheduled"] = s.scheduled;
+        out["evl.wheel.cancelled"] = s.cancelled;
+        out["evl.wheel.rescheduled"] = s.rescheduled;
+        out["evl.wheel.fired"] = s.fired;
+        out["evl.wheel.cascades"] = s.cascades;
+        out["evl.wheel.cascaded_timers"] = s.cascaded_timers;
+      });
+}
 
 sim::EventId EventLoop::add_timer_at(std::int64_t mono_us,
                                      std::function<void()> fn) {
@@ -105,13 +137,14 @@ int EventLoop::dispatch_due_timers() {
   // kMaxTimerDispatchPerPoll bounds the pass so an always-due re-arm chain
   // cannot starve fd handling.
   int dispatched = 0;
-  while (dispatched < kMaxTimerDispatchPerPoll && !timers_.empty() &&
-         timers_.next_time() <= mono_now_us()) {
-    auto fired = timers_.pop();
+  while (dispatched < kMaxTimerDispatchPerPoll) {
+    const std::int64_t now = mono_now_us();
+    auto fired = timers_.pop_due(now);
+    if (!fired.has_value()) break;
     if (recorder_ != nullptr)
-      recorder_->emit(obs::EvKind::timer_fire, 0,
-                      static_cast<std::uint64_t>(fired.time));
-    fired.fn();
+      recorder_->emit(obs::EvKind::timer_fire, 0, fired->id,
+                      static_cast<std::uint64_t>(now - fired->deadline));
+    fired->fn();
     ++dispatched;
   }
   return dispatched;
@@ -120,12 +153,19 @@ int EventLoop::dispatch_due_timers() {
 int EventLoop::poll_once(sim::Duration max_wait_us) {
   int dispatched_posted = dispatch_posted();
   if (dispatched_posted > 0) max_wait_us = 0;  // don't sleep with work done
-  // Bound the wait by the nearest timer.
-  std::int64_t wait_us = max_wait_us;
-  if (!timers_.empty()) {
-    const std::int64_t until = timers_.next_time() - mono_now_us();
-    wait_us = std::clamp<std::int64_t>(until, 0, max_wait_us);
+  // Bound the wait by the nearest timer (for a wheel-parked timer this is
+  // its next cascade boundary — a lower bound; waking there re-bounds).
+  std::int64_t wait_us = std::max<std::int64_t>(max_wait_us, 0);
+  const std::int64_t next_timer = timers_.next_time();
+  if (next_timer != sim::kNever) {
+    const std::int64_t until = next_timer - mono_now_us();
+    wait_us = std::clamp<std::int64_t>(until, 0, wait_us);
   }
+  // Cap the single-poll sleep: keeps the ms conversion below from
+  // overflowing for far-future waits, and bounds how stale the timer
+  // re-bound can get. Waking early is a spurious (harmless) wakeup.
+  wait_us = std::min<std::int64_t>(
+      wait_us, std::int64_t{kMaxPollTimeoutMs} * 1000);
 
   std::vector<pollfd> fds;
   fds.reserve(fd_handlers_.size() + 1);
@@ -134,9 +174,26 @@ int EventLoop::poll_once(sim::Duration max_wait_us) {
     fds.push_back(pollfd{fd, POLLIN, 0});
 
   int dispatched = 0;
-  const int timeout_ms = static_cast<int>((wait_us + 999) / 1000);
-  const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                        timeout_ms);
+  const std::int64_t wait_deadline = mono_now_us() + wait_us;
+  std::int64_t remaining_us = wait_us;
+  int rc;
+  for (;;) {
+    const int timeout_ms = static_cast<int>((remaining_us + 999) / 1000);
+    rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (rc >= 0) break;
+    if (errno == EINTR) {
+      // A signal (profiler, SIGCHLD, ...) interrupted the wait. Retry for
+      // the remaining budget instead of silently treating it as a timeout
+      // (which made every pending fd/timer wait out a whole extra pass).
+      if (poll_eintr_ != nullptr) poll_eintr_->inc();
+      remaining_us = std::max<std::int64_t>(wait_deadline - mono_now_us(), 0);
+      continue;
+    }
+    // A hard poll failure (EINVAL/ENOMEM/EBADF...). Count it and fall
+    // through to timer dispatch so the loop keeps making progress.
+    if (poll_errors_ != nullptr) poll_errors_->inc();
+    break;
+  }
   if (rc > 0) {
     for (const auto& pfd : fds) {
       if ((pfd.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;

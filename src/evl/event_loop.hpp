@@ -11,6 +11,11 @@
 // timer expirations into user callbacks, all on the calling thread. It backs
 // the real UDP transport and the thread-vs-event benchmark (experiment E6).
 //
+// Timers are stored in a hierarchical TimerWheel (evl/timer_wheel.hpp):
+// O(1) arm/cancel/re-arm under the protocol's arm-mostly-cancel churn, at
+// the price of quantizing deadlines up to the wheel's ~1 ms tick. The
+// discrete-event simulator keeps the exact-timestamp sim::EventQueue.
+//
 // Cross-thread post() is wired to a wakeup descriptor (eventfd, with a
 // self-pipe fallback) that is part of the poll set, so a posted callback
 // interrupts a sleeping poll_once() immediately instead of waiting out the
@@ -23,8 +28,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "evl/timer_wheel.hpp"
 #include "obs/recorder.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace tw::evl {
@@ -36,6 +41,12 @@ class EventLoop {
   /// re-arm fires in the same pass; this bound keeps a pathological
   /// always-due re-arm chain from starving fd dispatch.
   static constexpr int kMaxTimerDispatchPerPoll = 256;
+
+  /// poll(2) timeout ceiling. Bounds the int conversion for far-future
+  /// timers (a µs wait near INT64_MAX used to overflow the ms cast into a
+  /// negative timeout, i.e. poll-forever); waking once a minute to re-bound
+  /// the wait costs nothing.
+  static constexpr int kMaxPollTimeoutMs = 60 * 1000;
 
   EventLoop();
   ~EventLoop();
@@ -71,9 +82,15 @@ class EventLoop {
 
   void stop() { stopped_ = true; }
 
-  /// Attach a per-process trace recorder (timer arm/fire/cancel and post
-  /// wakeups are recorded). Pass nullptr to detach. Loop-thread only.
-  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+  /// Attach a per-process trace recorder: timer arm/fire/cancel and post
+  /// wakeups are traced, and when the recorder carries a metrics registry
+  /// the loop registers poll-error counters plus a pull source exporting
+  /// the timer wheel's occupancy and cascade counters ("evl.wheel.*").
+  /// Pass nullptr to detach. Loop-thread only.
+  void set_recorder(obs::Recorder* recorder);
+
+  /// The loop's timer store, exposed read-only for tests and benches.
+  [[nodiscard]] const TimerWheel& timer_wheel() const { return timers_; }
 
  private:
   int dispatch_due_timers();
@@ -81,7 +98,7 @@ class EventLoop {
   /// Drain the wakeup descriptor after poll reported it readable.
   void drain_wakeup();
 
-  sim::EventQueue timers_;  // keyed on monotonic µs
+  TimerWheel timers_;  // keyed on monotonic µs
   std::unordered_map<int, std::function<void()>> fd_handlers_;
   bool stopped_ = false;
 
@@ -93,6 +110,10 @@ class EventLoop {
   int wake_wr_ = -1;
 
   obs::Recorder* recorder_ = nullptr;
+  obs::Registry* metrics_registry_ = nullptr;  ///< owner of wheel_source_
+  obs::Registry::SourceId wheel_source_ = 0;
+  obs::Counter* poll_eintr_ = nullptr;  ///< EINTR retries (benign)
+  obs::Counter* poll_errors_ = nullptr; ///< hard poll(2) failures
 };
 
 }  // namespace tw::evl

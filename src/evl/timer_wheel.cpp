@@ -1,0 +1,312 @@
+#include "evl/timer_wheel.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace tw::evl {
+
+namespace {
+
+constexpr std::uint64_t kSlotMask = TimerWheel::kSlots - 1;
+
+/// Bits of the absolute expiry tick that address a slot at `level`.
+constexpr std::uint64_t slot_of(std::uint64_t tick, int level) {
+  return (tick >> (TimerWheel::kSlotBits * level)) & kSlotMask;
+}
+
+/// Delta upper bound (exclusive) a timer may have and still live at `level`.
+constexpr std::uint64_t level_span(int level) {
+  return std::uint64_t{1} << (TimerWheel::kSlotBits * (level + 1));
+}
+
+}  // namespace
+
+TimerWheel::TimerWheel(std::int64_t origin_us) : origin_us_(origin_us) {}
+
+std::uint64_t TimerWheel::tick_of(std::int64_t deadline_us) const {
+  if (deadline_us <= origin_us_) return 0;
+  const std::uint64_t rel =
+      static_cast<std::uint64_t>(deadline_us - origin_us_);
+  // Round UP: a timer must never fire before its deadline.
+  return (rel >> kTickShift) +
+         ((rel & static_cast<std::uint64_t>(kTickUs - 1)) != 0 ? 1 : 0);
+}
+
+std::uint32_t TimerWheel::alloc_node() {
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = pool_[idx].next;
+    return idx;
+  }
+  TW_ASSERT_MSG(pool_.size() < kNil - 1, "timer wheel node pool exhausted");
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void TimerWheel::free_node(std::uint32_t idx) {
+  Node& n = pool_[idx];
+  n.fn = nullptr;  // release the closure now, not at recycle time
+  n.bucket = kBucketFree;
+  ++n.gen;  // stale handles to this slot die here
+  n.prev = kNil;
+  n.next = free_head_;
+  free_head_ = idx;
+}
+
+void TimerWheel::bitmap_set(int level, std::uint64_t slot) {
+  bitmap_[level][slot >> 6] |= std::uint64_t{1} << (slot & 63);
+}
+
+void TimerWheel::bitmap_clear(int level, std::uint64_t slot) {
+  bitmap_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+}
+
+void TimerWheel::push_back(List& list, std::int32_t bucket,
+                           std::uint32_t idx) {
+  Node& n = pool_[idx];
+  n.bucket = bucket;
+  n.next = kNil;
+  n.prev = list.tail;
+  if (list.tail != kNil) {
+    pool_[list.tail].next = idx;
+  } else {
+    list.head = idx;
+    if (bucket >= 0)
+      bitmap_set(bucket / static_cast<std::int32_t>(kSlots),
+                 static_cast<std::uint64_t>(bucket) & kSlotMask);
+  }
+  list.tail = idx;
+  if (bucket == kBucketReady) {
+    ++ready_count_;
+  } else {
+    ++level_count_[bucket / static_cast<std::int32_t>(kSlots)];
+  }
+}
+
+void TimerWheel::unlink(std::uint32_t idx) {
+  Node& n = pool_[idx];
+  List& list = n.bucket == kBucketReady
+                   ? ready_
+                   : lists_[static_cast<std::size_t>(n.bucket)];
+  if (n.prev != kNil) {
+    pool_[n.prev].next = n.next;
+  } else {
+    list.head = n.next;
+  }
+  if (n.next != kNil) {
+    pool_[n.next].prev = n.prev;
+  } else {
+    list.tail = n.prev;
+  }
+  if (n.bucket == kBucketReady) {
+    --ready_count_;
+  } else {
+    const int level = n.bucket / static_cast<std::int32_t>(kSlots);
+    --level_count_[level];
+    if (list.head == kNil)
+      bitmap_clear(level, static_cast<std::uint64_t>(n.bucket) & kSlotMask);
+  }
+  n.prev = n.next = kNil;
+}
+
+void TimerWheel::place(std::uint32_t idx) {
+  Node& n = pool_[idx];
+  if (n.expiry_tick <= current_tick_) {
+    push_back(ready_, kBucketReady, idx);
+    return;
+  }
+  const std::uint64_t delta = n.expiry_tick - current_tick_;
+  int level = 0;
+  std::uint64_t placement_tick = n.expiry_tick;
+  while (level < kLevels - 1 && delta >= level_span(level)) ++level;
+  if (delta > kMaxDelta) {
+    // Beyond the horizon: park in the farthest level-3 slot; it re-hashes
+    // (and eventually fits) each time that slot cascades.
+    placement_tick = current_tick_ + kMaxDelta;
+  }
+  const std::uint64_t slot = slot_of(placement_tick, level);
+  const std::int32_t bucket =
+      static_cast<std::int32_t>(static_cast<std::uint64_t>(level) * kSlots +
+                                slot);
+  push_back(lists_[static_cast<std::size_t>(bucket)], bucket, idx);
+}
+
+void TimerWheel::cascade(int level, std::uint64_t slot) {
+  List& list = lists_[static_cast<std::size_t>(level) * kSlots + slot];
+  std::uint32_t idx = list.head;
+  if (idx == kNil) return;
+  list.head = list.tail = kNil;
+  bitmap_clear(level, slot);
+  ++stats_.cascades;
+  while (idx != kNil) {
+    const std::uint32_t next = pool_[idx].next;
+    --level_count_[level];
+    ++stats_.cascaded_timers;
+    place(idx);  // in list order, so same-slot FIFO order survives
+    idx = next;
+  }
+}
+
+std::uint64_t TimerWheel::next_busy_tick() const {
+  std::uint64_t best = UINT64_MAX;
+  for (int level = 0; level < kLevels; ++level) {
+    if (level_count_[level] == 0) continue;
+    const int shift = kSlotBits * level;
+    const std::uint64_t hand = (current_tick_ >> shift) & kSlotMask;
+    for (std::uint64_t w = 0; w < kSlots / 64; ++w) {
+      std::uint64_t word = bitmap_[level][w];
+      while (word != 0) {
+        const std::uint64_t slot =
+            w * 64 + static_cast<std::uint64_t>(std::countr_zero(word));
+        word &= word - 1;
+        // Distance (in this level's units) until the hand reaches `slot`.
+        // d == 0 means the hand is exactly on it, which can only happen
+        // right after that slot drained/cascaded — a full lap away.
+        std::uint64_t d = (slot - hand) & kSlotMask;
+        if (d == 0) d = kSlots;
+        const std::uint64_t t =
+            ((current_tick_ >> shift) + d) << shift;
+        best = t < best ? t : best;
+      }
+    }
+  }
+  return best;
+}
+
+void TimerWheel::advance_to(std::uint64_t target_tick) {
+  while (current_tick_ < target_tick) {
+    if (live_ == ready_count_) {  // wheel levels empty: jump over dead air
+      current_tick_ = target_tick;
+      return;
+    }
+    const std::uint64_t busy = next_busy_tick();
+    if (busy > target_tick) {
+      current_tick_ = target_tick;
+      return;
+    }
+    current_tick_ = busy;
+    // Top-down at each wrapped boundary: place() re-hashes straight to a
+    // timer's final level, so levels never re-cascade within one tick.
+    for (int level = kLevels - 1; level >= 1; --level) {
+      const std::uint64_t mask = level_span(level - 1) - 1;
+      if ((current_tick_ & mask) == 0)
+        cascade(level, slot_of(current_tick_, level));
+    }
+    // Drain the level-0 slot the hand landed on into the ready queue.
+    const std::uint64_t slot = current_tick_ & kSlotMask;
+    List& list = lists_[slot];
+    std::uint32_t idx = list.head;
+    if (idx != kNil) {
+      list.head = list.tail = kNil;
+      bitmap_clear(0, slot);
+      while (idx != kNil) {
+        const std::uint32_t next = pool_[idx].next;
+        --level_count_[0];
+        push_back(ready_, kBucketReady, idx);
+        idx = next;
+      }
+    }
+  }
+}
+
+sim::EventId TimerWheel::schedule(std::int64_t deadline_us,
+                                  std::function<void()> fn) {
+  const std::uint32_t idx = alloc_node();
+  Node& n = pool_[idx];
+  // Clamp past deadlines to the wheel's notion of now so the recorded
+  // deadline (and the fire-latency derived from it) stays meaningful for
+  // the "run asap" idiom of arming with a deadline of 0.
+  const std::int64_t floor_us =
+      origin_us_ + static_cast<std::int64_t>(current_tick_ << kTickShift);
+  n.deadline = deadline_us < floor_us ? floor_us : deadline_us;
+  n.expiry_tick = tick_of(n.deadline);
+  if (n.expiry_tick < current_tick_) n.expiry_tick = current_tick_;
+  n.fn = std::move(fn);
+  place(idx);
+  ++live_;
+  ++stats_.scheduled;
+  return (static_cast<sim::EventId>(n.gen) << 32) |
+         static_cast<sim::EventId>(idx + 1);
+}
+
+TimerWheel::Node* TimerWheel::decode(sim::EventId id) {
+  const std::uint64_t low = id & 0xffffffffu;
+  if (low == 0 || low > pool_.size()) return nullptr;
+  Node& n = pool_[static_cast<std::size_t>(low - 1)];
+  if (n.bucket == kBucketFree) return nullptr;
+  if (n.gen != static_cast<std::uint32_t>(id >> 32)) return nullptr;
+  return &n;
+}
+
+bool TimerWheel::cancel(sim::EventId id) {
+  Node* n = decode(id);
+  if (n == nullptr) return false;
+  const std::uint32_t idx = static_cast<std::uint32_t>((id & 0xffffffffu) - 1);
+  unlink(idx);
+  free_node(idx);
+  --live_;
+  ++stats_.cancelled;
+  return true;
+}
+
+bool TimerWheel::reschedule(sim::EventId id, std::int64_t deadline_us) {
+  Node* n = decode(id);
+  if (n == nullptr) return false;
+  const std::uint32_t idx = static_cast<std::uint32_t>((id & 0xffffffffu) - 1);
+  unlink(idx);
+  const std::int64_t floor_us =
+      origin_us_ + static_cast<std::int64_t>(current_tick_ << kTickShift);
+  n->deadline = deadline_us < floor_us ? floor_us : deadline_us;
+  n->expiry_tick = tick_of(n->deadline);
+  if (n->expiry_tick < current_tick_) n->expiry_tick = current_tick_;
+  place(idx);
+  ++stats_.rescheduled;
+  return true;
+}
+
+std::int64_t TimerWheel::next_time() const {
+  if (ready_.head != kNil) return pool_[ready_.head].deadline;
+  if (live_ == 0) return sim::kNever;
+  const std::uint64_t busy = next_busy_tick();
+  if (busy == UINT64_MAX) return sim::kNever;  // unreachable when live_ > 0
+  return origin_us_ + static_cast<std::int64_t>(busy << kTickShift);
+}
+
+std::optional<TimerWheel::Fired> TimerWheel::pop_due(std::int64_t now_us) {
+  if (live_ == 0) {
+    // Keep the hand tracking time even while idle so a later schedule's
+    // relative placement starts from the present, not the distant past.
+    if (now_us > origin_us_) {
+      const std::uint64_t target =
+          static_cast<std::uint64_t>(now_us - origin_us_) >> kTickShift;
+      if (target > current_tick_) current_tick_ = target;
+    }
+    return std::nullopt;
+  }
+  if (now_us > origin_us_) {
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(now_us - origin_us_) >> kTickShift;
+    if (target > current_tick_) advance_to(target);
+  }
+  if (ready_.head == kNil) return std::nullopt;
+  const std::uint32_t idx = ready_.head;
+  Node& n = pool_[idx];
+  Fired fired;
+  fired.id = (static_cast<sim::EventId>(n.gen) << 32) |
+             static_cast<sim::EventId>(idx + 1);
+  fired.deadline = n.deadline;
+  fired.fn = std::move(n.fn);
+  unlink(idx);
+  free_node(idx);
+  --live_;
+  ++stats_.fired;
+  return fired;
+}
+
+std::size_t TimerWheel::level_size(int level) const {
+  TW_ASSERT(level >= 0 && level < kLevels);
+  return level_count_[level];
+}
+
+}  // namespace tw::evl

@@ -36,9 +36,36 @@ TimelineReport analyze_timeline(const std::vector<Event>& merged) {
   // fresh incarnation restarts unsynchronized) and can reorder the
   // milestones in the merged timeline.
   std::map<std::uint32_t, std::vector<const Event*>> recovery_events;
+  // Pending timer arms, keyed (process, timer id) → arm hw-clock time.
+  // Fires and cancels consume their arm; intervals use the process's own
+  // hardware clock (both records come from the same process).
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::int64_t> armed_at;
   for (const Event& e : merged) {
     ++report.events_by_process[e.p];
     switch (e.kind) {
+      case EvKind::timer_arm:
+        ++report.timers.armed;
+        armed_at[{e.p, e.a}] = e.t;
+        break;
+      case EvKind::timer_cancel:
+        ++report.timers.cancelled;
+        armed_at.erase({e.p, e.a});
+        break;
+      case EvKind::timer_fire: {
+        TimerStat& ts = report.timers;
+        ++ts.fired;
+        ts.fire_latency_sum_us += e.b;
+        ts.fire_latency_max_us = std::max(ts.fire_latency_max_us, e.b);
+        const auto it = armed_at.find({e.p, e.a});
+        if (it != armed_at.end()) {
+          const std::int64_t elapsed = e.t - it->second;
+          ++ts.matched;
+          ts.arm_to_fire_sum_us += elapsed;
+          ts.arm_to_fire_max_us = std::max(ts.arm_to_fire_max_us, elapsed);
+          armed_at.erase(it);
+        }
+        break;
+      }
       case EvKind::dgram_send:
         ++report.sent_total;
         ++report.sent_by_kind[e.arg];
@@ -157,7 +184,7 @@ std::string format_event(const Event& e) {
       os << " id=" << e.a << " deadline=" << e.b;
       break;
     case EvKind::timer_fire:
-      os << " deadline=" << e.a;
+      os << " id=" << e.a << " latency=" << e.b << "us";
       break;
     case EvKind::timer_cancel:
       os << " id=" << e.a;
@@ -224,6 +251,18 @@ std::string TimelineReport::to_string() const {
     if (v.latency_us >= 0)
       os << " latency=" << v.latency_us << "us (from last suspicion)";
     os << '\n';
+  }
+  if (timers.armed > 0 || timers.fired > 0 || timers.cancelled > 0) {
+    os << "== timers ==\n";
+    os << "  armed " << timers.armed << "  fired " << timers.fired
+       << "  cancelled " << timers.cancelled << '\n';
+    if (timers.fired > 0)
+      os << "  fire latency mean=" << timers.mean_fire_latency_us()
+         << "us max=" << timers.fire_latency_max_us << "us\n";
+    if (timers.matched > 0)
+      os << "  arm->fire (" << timers.matched
+         << " matched) mean=" << timers.mean_arm_to_fire_us()
+         << "us max=" << timers.arm_to_fire_max_us << "us\n";
   }
   if (!recoveries.empty()) {
     os << "== recoveries ==\n";

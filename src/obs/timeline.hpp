@@ -67,6 +67,35 @@ struct RecoveryStat {
   }
 };
 
+/// Aggregate timer-path health, stitched from timer_arm/fire/cancel
+/// records. Fires pair with their arm by timer id (per process), giving
+/// the arm→fire interval on the process's own hardware clock; the fire
+/// record itself carries the dispatch latency (µs past the deadline).
+struct TimerStat {
+  std::uint64_t armed = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  /// Fires whose arm record is present in the trace (ring wraparound and
+  /// pre-wheel traces leave fires unmatched).
+  std::uint64_t matched = 0;
+  std::int64_t arm_to_fire_sum_us = 0;  ///< over matched fires
+  std::int64_t arm_to_fire_max_us = 0;
+  std::uint64_t fire_latency_sum_us = 0;  ///< over all fires (record's b)
+  std::uint64_t fire_latency_max_us = 0;
+
+  [[nodiscard]] double mean_arm_to_fire_us() const {
+    return matched == 0
+               ? 0.0
+               : static_cast<double>(arm_to_fire_sum_us) /
+                     static_cast<double>(matched);
+  }
+  [[nodiscard]] double mean_fire_latency_us() const {
+    return fired == 0 ? 0.0
+                      : static_cast<double>(fire_latency_sum_us) /
+                            static_cast<double>(fired);
+  }
+};
+
 struct TimelineReport {
   /// dgram_send count per message-kind byte (the wire tag).
   std::map<std::uint8_t, std::uint64_t> sent_by_kind;
@@ -76,6 +105,7 @@ struct TimelineReport {
   std::uint64_t sent_total = 0;
   std::vector<ViewStat> views;  ///< in order of first install
   std::vector<RecoveryStat> recoveries;  ///< in order of recovery start
+  TimerStat timers;
   std::map<std::uint32_t, std::uint64_t> events_by_process;
 
   [[nodiscard]] std::string to_string() const;

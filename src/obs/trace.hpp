@@ -31,7 +31,11 @@ enum class EvKind : std::uint8_t {
   /// arg = DropReason; a = peer (kNoProcess if unknown); b = bytes/errno.
   dgram_drop = 2,
 
-  // evl / timers: a = timer id; b = deadline (µs, local clock domain).
+  // evl / timers. timer_arm: a = timer id, b = deadline (µs, local clock
+  // domain). timer_fire: a = timer id, b = fire latency (µs past the
+  // deadline — dispatch jitter), so twtrace can pair a fire with its arm
+  // (pre-wheel traces put the deadline in a, which never matches an arm
+  // id). timer_cancel: a = timer id.
   timer_arm = 3,
   timer_fire = 4,
   timer_cancel = 5,

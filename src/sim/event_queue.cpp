@@ -1,12 +1,21 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace tw::sim {
 
+namespace {
+// Below this size the tombstone overhead is noise; skipping tiny compactions
+// keeps the common schedule/cancel/schedule pattern free of rebuilds.
+constexpr std::size_t kCompactMinEntries = 64;
+}  // namespace
+
 EventId EventQueue::schedule(SimTime t, std::function<void()> fn) {
   const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
+  heap_.push_back(Entry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   handlers_.emplace(id, std::move(fn));
   ++live_;
   return id;
@@ -17,26 +26,43 @@ bool EventQueue::cancel(EventId id) {
   if (it == handlers_.end()) return false;
   handlers_.erase(it);
   --live_;
+  // The heap Entry stays behind as a tombstone. Compact once tombstones
+  // outnumber live entries so arm/cancel churn cannot grow storage without
+  // bound; the rebuild is O(n) against >n/2 entries reclaimed, so the
+  // amortized cost per cancel stays O(1) on top of the map erase.
+  if (heap_.size() >= kCompactMinEntries && heap_.size() - live_ > live_)
+    compact();
   return true;
 }
 
+void EventQueue::compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) {
+                               return !handlers_.contains(e.id);
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && !handlers_.contains(heap_.top().id)) {
+  while (!heap_.empty() && !handlers_.contains(heap_.front().id)) {
     // Cancelled tombstone; lazily discarded.
-    const_cast<EventQueue*>(this)->heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
   }
 }
 
 SimTime EventQueue::next_time() const {
   drop_cancelled();
-  return heap_.empty() ? kNever : heap_.top().time;
+  return heap_.empty() ? kNever : heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled();
   TW_ASSERT(!heap_.empty());
-  const Entry e = heap_.top();
-  heap_.pop();
+  const Entry e = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
   auto it = handlers_.find(e.id);
   TW_ASSERT(it != handlers_.end());
   Fired fired{e.time, std::move(it->second)};

@@ -2,11 +2,18 @@
 //
 // Events with equal timestamps fire in schedule order (FIFO tie-break via a
 // monotone sequence number) so simulations are fully deterministic.
+//
+// cancel() is O(1): it erases the handler and leaves a tombstone Entry in
+// the heap. Tombstones are discarded lazily when they surface at the top —
+// and, so that unbounded arm/cancel churn (the protocol's standing
+// workload: most retransmit/grace/backoff timers are cancelled before they
+// fire) cannot grow the heap without bound, the heap is compacted in place
+// whenever tombstones outnumber live entries. That keeps storage at
+// ≤ 2 × live + O(1) with amortized O(log n) scheduling.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +36,10 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
 
+  /// Heap entries currently stored, live + tombstones. Tests use this to
+  /// pin the tombstone-compaction bound; size() is the live count.
+  [[nodiscard]] std::size_t storage_size() const { return heap_.size(); }
+
   /// Timestamp of the next live event; kNever if empty.
   [[nodiscard]] SimTime next_time() const;
 
@@ -50,8 +61,12 @@ class EventQueue {
   };
 
   void drop_cancelled() const;
+  /// Rebuild the heap without its tombstones (O(n)).
+  void compact();
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Min-heap over Entry (std::push_heap/pop_heap with operator>), kept as
+  // a plain vector so compact() can filter and re-heapify in place.
+  mutable std::vector<Entry> heap_;
   std::unordered_map<EventId, std::function<void()>> handlers_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;

@@ -10,6 +10,9 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
 namespace tw::evl {
 namespace {
 
@@ -137,6 +140,100 @@ TEST(EventLoop, RunawayRearmChainIsBoundedPerPoll) {
   EXPECT_EQ(count, 2 * EventLoop::kMaxTimerDispatchPerPoll);
 }
 
+TEST(EventLoop, TimerChurnThroughTheWheel) {
+  // Drive the full loop through the protocol's standing workload —
+  // arm/cancel churn with a fraction surviving to fire — and check both
+  // delivery exactness and that the wheel's pool stays at the concurrency
+  // high-water mark instead of growing with total churn.
+  EventLoop loop;
+  constexpr int kBatch = 2'000;
+  int fired = 0;
+  int cancelled = 0;
+  std::vector<sim::EventId> ids;
+  for (int round = 0; round < 10; ++round) {
+    ids.clear();
+    for (int i = 0; i < kBatch; ++i)
+      ids.push_back(loop.add_timer_after(sim::msec(2 + i % 7),
+                                         [&] { ++fired; }));
+    for (int i = 0; i < kBatch; i += 2) {  // cancel every other one
+      loop.cancel_timer(ids[static_cast<size_t>(i)]);
+      ++cancelled;
+    }
+    loop.run_for(sim::msec(25));
+  }
+  EXPECT_EQ(fired + cancelled, 10 * kBatch);
+  EXPECT_EQ(cancelled, 10 * kBatch / 2);
+  EXPECT_TRUE(loop.timer_wheel().empty());
+  // Pool high-water: one round's live set, not ten rounds' churn.
+  EXPECT_LE(loop.timer_wheel().allocated_nodes(),
+            static_cast<std::size_t>(kBatch) + 16);
+}
+
+TEST(EventLoop, FireTraceCarriesArmIdAndLatency) {
+  // Regression: timer_fire used to emit only the deadline, so a fire could
+  // not be paired with its timer_arm. It now carries (id, latency_us).
+  obs::Registry registry;
+  obs::Recorder recorder(0, [] { return EventLoop::mono_now_us(); },
+                         &registry);
+  EventLoop loop;
+  loop.set_recorder(&recorder);
+  const sim::EventId id = loop.add_timer_after(sim::msec(3), [] {});
+  const sim::EventId doomed = loop.add_timer_after(sim::msec(5), [] {});
+  loop.cancel_timer(doomed);
+  loop.run_for(sim::msec(60));
+  loop.set_recorder(nullptr);
+
+  bool saw_arm = false, saw_fire = false, saw_cancel = false;
+  for (const obs::Event& e : recorder.ring().snapshot()) {
+    if (e.kind == obs::EvKind::timer_arm && e.a == id) saw_arm = true;
+    if (e.kind == obs::EvKind::timer_fire && e.a == id) {
+      saw_fire = true;
+      // Latency is measured against the effective deadline: non-negative
+      // and (generously, for loaded CI) under a second.
+      EXPECT_LT(e.b, 1'000'000u);
+    }
+    if (e.kind == obs::EvKind::timer_cancel && e.a == doomed)
+      saw_cancel = true;
+  }
+  EXPECT_TRUE(saw_arm);
+  EXPECT_TRUE(saw_fire) << "timer_fire did not carry the arm id";
+  EXPECT_TRUE(saw_cancel);
+}
+
+TEST(EventLoop, WheelMetricsExportedThroughRegistry) {
+  obs::Registry registry;
+  obs::Recorder recorder(0, [] { return EventLoop::mono_now_us(); },
+                         &registry);
+  EventLoop loop;
+  loop.set_recorder(&recorder);
+  loop.add_timer_after(sim::msec(1), [] {});
+  loop.add_timer_after(sim::sec(3600), [] {});  // stays parked
+  const auto cancel_me = loop.add_timer_after(sim::msec(2), [] {});
+  loop.cancel_timer(cancel_me);
+  loop.run_for(sim::msec(30));
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value("evl.wheel.scheduled"), 3u);
+  EXPECT_EQ(snap.value("evl.wheel.cancelled"), 1u);
+  EXPECT_EQ(snap.value("evl.wheel.fired"), 1u);
+  EXPECT_EQ(snap.value("evl.wheel.size"), 1u);  // the hour-out timer
+  loop.set_recorder(nullptr);
+  // Detached: the pull source must be gone, not dangling.
+  EXPECT_EQ(registry.snapshot().counters.count("evl.wheel.size"), 0u);
+}
+
+TEST(EventLoop, CancelWithStaleIdIsSafe) {
+  EventLoop loop;
+  bool fired = false;
+  const sim::EventId id = loop.add_timer_after(sim::msec(1), [&] {
+    fired = true;
+  });
+  loop.run_for(sim::msec(20));
+  EXPECT_TRUE(fired);
+  loop.cancel_timer(id);              // already fired: no-op
+  loop.cancel_timer(sim::kNoEvent);   // never valid: no-op
+  loop.cancel_timer(~sim::EventId{0});  // garbage: no-op
+}
+
 TEST(EventBasedDemux, DispatchesToCorrectHandler) {
   std::vector<std::uint64_t> sums(3, 0);
   std::vector<EventFn> handlers;
@@ -163,6 +260,36 @@ TEST(ThreadPerEventDemux, ProcessesAllEvents) {
     demux.drain();
     for (const auto s : sums) EXPECT_EQ(s, 25u);
   }
+}
+
+TEST(ThreadPerEventDemux, PostAfterShutdownIsRejectedAndDrainReturns) {
+  // Regression: post() after shutdown used to enqueue work no worker would
+  // ever drain, so pending_ never hit zero and drain() deadlocked.
+  std::atomic<int> handled{0};
+  std::vector<EventFn> handlers;
+  handlers.emplace_back([&](std::uint64_t) { ++handled; });
+  ThreadPerEventDemux demux(std::move(handlers));
+  EXPECT_TRUE(demux.post(0, 1));
+  demux.drain();
+  EXPECT_EQ(handled.load(), 1);
+  demux.shutdown();
+  EXPECT_FALSE(demux.post(0, 2)) << "post accepted after shutdown";
+  demux.drain();  // must return immediately, not deadlock
+  EXPECT_EQ(handled.load(), 1);
+  demux.shutdown();  // idempotent
+}
+
+TEST(ThreadPerEventDemux, ShutdownDrainsQueuedEventsFirst) {
+  std::atomic<int> handled{0};
+  std::vector<EventFn> handlers;
+  handlers.emplace_back([&](std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ++handled;
+  });
+  ThreadPerEventDemux demux(std::move(handlers));
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(demux.post(0, 0));
+  demux.shutdown();  // workers exit only once their queues are empty
+  EXPECT_EQ(handled.load(), 20);
 }
 
 TEST(ThreadPerEventDemux, MutualExclusionOfHandlers) {

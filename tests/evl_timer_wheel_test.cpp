@@ -1,0 +1,316 @@
+// Unit tests for the hierarchical timer wheel — driven entirely in virtual
+// time (origin 0, explicit `now` values), so every case is deterministic.
+#include "evl/timer_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace tw::evl {
+namespace {
+
+constexpr std::int64_t kTick = TimerWheel::kTickUs;
+
+TEST(TimerWheel, FiresInDeadlineOrderAcrossTicks) {
+  TimerWheel w(0);
+  std::vector<int> order;
+  w.schedule(30 * kTick, [&] { order.push_back(3); });
+  w.schedule(10 * kTick, [&] { order.push_back(1); });
+  w.schedule(20 * kTick, [&] { order.push_back(2); });
+  std::int64_t now = 0;
+  while (!w.empty()) {
+    now += kTick;
+    while (auto f = w.pop_due(now)) f->fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheel, NeverFiresBeforeDeadline) {
+  // Quantization rounds UP: a timer must not be returned by a pop_due()
+  // whose `now` precedes its deadline, even by 1 µs.
+  TimerWheel w(0);
+  const std::int64_t deadline = 5 * kTick + 1;  // just past a tick edge
+  w.schedule(deadline, [] {});
+  EXPECT_FALSE(w.pop_due(deadline - 1).has_value());
+  EXPECT_FALSE(w.pop_due(5 * kTick).has_value());
+  EXPECT_TRUE(w.pop_due(6 * kTick).has_value());  // next tick boundary
+}
+
+TEST(TimerWheel, SameTickTimersPopFifo) {
+  TimerWheel w(0);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    w.schedule(7 * kTick, [&order, i] { order.push_back(i); });
+  while (auto f = w.pop_due(8 * kTick)) f->fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(TimerWheel, FifoSurvivesCascade) {
+  // Timers parked above level 0 must keep their schedule order through the
+  // cascade re-hash.
+  TimerWheel w(0);
+  const std::int64_t deadline = 300 * kTick;  // level 1 at schedule time
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i)
+    w.schedule(deadline, [&order, i] { order.push_back(i); });
+  EXPECT_EQ(w.level_size(1), 8u);
+  while (auto f = w.pop_due(deadline)) f->fn();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  EXPECT_GE(w.stats().cascades, 1u);
+  EXPECT_GE(w.stats().cascaded_timers, 8u);
+}
+
+TEST(TimerWheel, DeadlineExactlyAtLevelBoundary) {
+  // Tick 256 is the first tick addressed by level 1; it must fire exactly
+  // when the hand wraps, not a lap later and not early.
+  TimerWheel w(0);
+  bool fired = false;
+  w.schedule(256 * kTick, [&] { fired = true; });
+  EXPECT_EQ(w.level_size(1), 1u);
+  EXPECT_FALSE(w.pop_due(256 * kTick - 1).has_value());
+  auto f = w.pop_due(256 * kTick);
+  ASSERT_TRUE(f.has_value());
+  f->fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, SlotEdgeJustBeforeBoundaryStaysLevel0) {
+  TimerWheel w(0);
+  w.schedule(255 * kTick, [] {});
+  EXPECT_EQ(w.level_size(0), 1u);
+  EXPECT_EQ(w.next_time(), 255 * kTick);
+  EXPECT_TRUE(w.pop_due(255 * kTick).has_value());
+}
+
+TEST(TimerWheel, FarFutureTimersParkHighAndStillFire) {
+  TimerWheel w(0);
+  std::vector<int> order;
+  const std::int64_t level2 = (std::int64_t{1} << 16) * kTick + 5 * kTick;
+  const std::int64_t level3 = (std::int64_t{1} << 24) * kTick + 9 * kTick;
+  w.schedule(level3, [&] { order.push_back(3); });
+  w.schedule(level2, [&] { order.push_back(2); });
+  EXPECT_EQ(w.level_size(2), 1u);
+  EXPECT_EQ(w.level_size(3), 1u);
+  while (auto f = w.pop_due(level2)) f->fn();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+  while (auto f = w.pop_due(level3)) f->fn();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
+TEST(TimerWheel, BeyondHorizonTimerRecascadesUntilItFits) {
+  // Farther than the 4-level span (~51 days of ticks): parks in the last
+  // level-3 slot and re-hashes each cascade until the delta fits.
+  TimerWheel w(0);
+  const std::int64_t deadline =
+      static_cast<std::int64_t>((std::uint64_t{1} << 32) + 100) * kTick;
+  bool fired = false;
+  w.schedule(deadline, [&] { fired = true; });
+  EXPECT_EQ(w.level_size(3), 1u);
+  EXPECT_FALSE(w.pop_due(deadline - kTick).has_value());
+  auto f = w.pop_due(deadline);
+  ASSERT_TRUE(f.has_value());
+  f->fn();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, ZeroDelayTimerIsImmediatelyDue) {
+  TimerWheel w(0);
+  // Advance the hand, then arm "in the past": clamps to due-now.
+  EXPECT_FALSE(w.pop_due(50 * kTick).has_value());
+  bool fired = false;
+  const sim::EventId id = w.schedule(0, [&] { fired = true; });
+  EXPECT_NE(id, sim::kNoEvent);
+  EXPECT_EQ(w.ready_size(), 1u);
+  // The effective deadline is clamped to the hand, so fire latency
+  // measured against it stays ~0 for the run-asap idiom.
+  auto f = w.pop_due(50 * kTick);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->deadline, 50 * kTick);
+  f->fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, ZeroDelayRearmChain) {
+  TimerWheel w(0);
+  int count = 0;
+  std::function<void()> rearm = [&] {
+    if (++count < 5) w.schedule(0, rearm);
+  };
+  w.schedule(0, rearm);
+  while (auto f = w.pop_due(0)) f->fn();
+  EXPECT_EQ(count, 5);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, CancelPreventsFire) {
+  TimerWheel w(0);
+  bool fired = false;
+  const sim::EventId id = w.schedule(4 * kTick, [&] { fired = true; });
+  EXPECT_TRUE(w.cancel(id));
+  EXPECT_FALSE(w.cancel(id));  // already cancelled
+  EXPECT_TRUE(w.empty());
+  EXPECT_FALSE(w.pop_due(10 * kTick).has_value());
+  EXPECT_FALSE(fired);
+}
+
+TEST(TimerWheel, CancelReadyTimer) {
+  // A timer can be cancelled even after it has expired into the ready
+  // queue (matches EventQueue: cancellable until popped).
+  TimerWheel w(0);
+  bool fired = false;
+  w.schedule(kTick, [] {});
+  const sim::EventId id = w.schedule(kTick, [&] { fired = true; });
+  ASSERT_TRUE(w.pop_due(kTick).has_value());  // pops the first...
+  EXPECT_EQ(w.ready_size(), 1u);              // ...second waits expired
+  ASSERT_TRUE(w.cancel(id));
+  EXPECT_FALSE(w.pop_due(2 * kTick).has_value());
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, StaleHandleCannotCancelRecycledSlot) {
+  // After a timer dies, its pool slot is recycled with a bumped
+  // generation; the old handle must be refused.
+  TimerWheel w(0);
+  const sim::EventId a = w.schedule(kTick, [] {});
+  EXPECT_TRUE(w.cancel(a));
+  const sim::EventId b = w.schedule(2 * kTick, [] {});
+  EXPECT_EQ(a & 0xffffffffu, b & 0xffffffffu) << "pool slot was not reused";
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(w.cancel(a)) << "stale generation accepted";
+  EXPECT_EQ(w.size(), 1u) << "stale cancel killed the recycled timer";
+  EXPECT_TRUE(w.cancel(b));
+}
+
+TEST(TimerWheel, HandleOfFiredTimerIsStale) {
+  TimerWheel w(0);
+  const sim::EventId id = w.schedule(kTick, [] {});
+  ASSERT_TRUE(w.pop_due(kTick).has_value());
+  EXPECT_FALSE(w.cancel(id));
+}
+
+TEST(TimerWheel, RescheduleMovesDeadlineKeepsHandle) {
+  TimerWheel w(0);
+  bool fired = false;
+  const sim::EventId id = w.schedule(5 * kTick, [&] { fired = true; });
+  ASSERT_TRUE(w.reschedule(id, 400 * kTick));  // level 0 → level 1
+  EXPECT_FALSE(w.pop_due(10 * kTick).has_value());
+  EXPECT_FALSE(fired);
+  auto f = w.pop_due(400 * kTick);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->id, id);
+  f->fn();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(w.reschedule(id, 500 * kTick));  // handle dead after fire
+}
+
+TEST(TimerWheel, NextTimeIsExactForLevel0AndBoundsHigherLevels) {
+  TimerWheel w(0);
+  EXPECT_EQ(w.next_time(), sim::kNever);
+  w.schedule(40 * kTick + 3, [] {});  // quantizes up to tick 41
+  EXPECT_EQ(w.next_time(), 41 * kTick);
+  TimerWheel far(0);
+  const std::int64_t deadline = 1000 * kTick;
+  far.schedule(deadline, [] {});
+  // Parked at level 1: next_time is the cascade boundary — a lower bound
+  // that never overshoots the real fire time.
+  EXPECT_LE(far.next_time(), deadline);
+  EXPECT_GT(far.next_time(), 0);
+  // Following next_time() repeatedly converges on the fire time.
+  std::int64_t now = 0;
+  int hops = 0;
+  while (!far.pop_due(now).has_value()) {
+    ASSERT_LT(++hops, 16) << "next_time failed to converge";
+    ASSERT_NE(far.next_time(), sim::kNever);
+    ASSERT_GT(far.next_time(), now) << "next_time did not advance";
+    now = far.next_time();
+  }
+  EXPECT_EQ(now, deadline);
+}
+
+TEST(TimerWheel, ChurnIsBoundedMemory) {
+  // The protocol workload: a million arm/cancel cycles with a small live
+  // set must not grow the node pool beyond the concurrency high-water
+  // mark (the heap-based EventQueue used to leak a tombstone per cancel).
+  TimerWheel w(0);
+  std::vector<sim::EventId> live;
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;  // splitmix-ish, deterministic
+  auto rnd = [&x] {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  constexpr int kCycles = 1'000'000;
+  constexpr std::size_t kLiveCap = 64;
+  for (int i = 0; i < kCycles; ++i) {
+    const std::int64_t deadline =
+        static_cast<std::int64_t>(rnd() % (500'000 * static_cast<std::uint64_t>(kTick)));
+    live.push_back(w.schedule(deadline, [] {}));
+    if (live.size() > kLiveCap) {
+      const std::size_t victim = rnd() % live.size();
+      ASSERT_TRUE(w.cancel(live[victim]));
+      live[victim] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_LE(w.allocated_nodes(), kLiveCap + 2);
+  EXPECT_EQ(w.size(), live.size());
+  EXPECT_EQ(w.stats().scheduled, static_cast<std::uint64_t>(kCycles));
+}
+
+TEST(TimerWheel, MassDrainDeliversEveryTimerExactlyOnce) {
+  TimerWheel w(0);
+  constexpr int kTimers = 100'000;
+  std::uint64_t x = 12345;
+  auto rnd = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  std::int64_t max_deadline = 0;
+  for (int i = 0; i < kTimers; ++i) {
+    const std::int64_t deadline =
+        static_cast<std::int64_t>(rnd() % (1u << 22)) * 16;  // up to ~67 s
+    max_deadline = std::max(max_deadline, deadline);
+    w.schedule(deadline, [] {});
+  }
+  std::size_t fired = 0;
+  std::int64_t prev_tick = -1;
+  std::int64_t now = 0;
+  while (!w.empty()) {
+    now += 512 * kTick;
+    while (auto f = w.pop_due(now)) {
+      ++fired;
+      // Never early, never more than a tick late relative to `now` steps.
+      EXPECT_LE(f->deadline, now);
+      const std::int64_t tick = (f->deadline + kTick - 1) / kTick;
+      EXPECT_GE(tick, prev_tick) << "ticks popped out of order";
+      prev_tick = tick;
+    }
+    ASSERT_LE(now, max_deadline + 600 * kTick) << "drain failed to finish";
+    prev_tick = -1;  // FIFO order is only guaranteed within one drain pass
+  }
+  EXPECT_EQ(fired, static_cast<std::size_t>(kTimers));
+  EXPECT_EQ(w.stats().fired, static_cast<std::uint64_t>(kTimers));
+}
+
+TEST(TimerWheel, IdleGapSkipsWithoutTickByTickWork) {
+  // A loop that slept for a long time (or a timer 50 days out) must not
+  // advance tick-by-tick. Indirect check: a huge jump completes fast
+  // enough to not trip the test timeout, and cascade counters stay tiny.
+  TimerWheel w(0);
+  w.schedule(sim::sec(3600), [] {});                    // 1 hour out
+  EXPECT_FALSE(w.pop_due(sim::sec(1800)).has_value());  // jump 30 min
+  auto f = w.pop_due(sim::sec(3600));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_LE(w.stats().cascades, 8u);
+}
+
+}  // namespace
+}  // namespace tw::evl

@@ -70,6 +70,34 @@ TEST(Timeline, AnalyzeCountsMessagesAndDrops) {
   EXPECT_EQ(report.events_by_process.at(0), 2u);
 }
 
+TEST(Timeline, TimerFiresPairWithTheirArmsById) {
+  // timer_arm (a=id, b=deadline) and timer_fire (a=id, b=latency_us) pair
+  // by (process, id); cancels consume their arm; unmatched fires (ring
+  // wraparound, pre-wheel traces) still count toward latency aggregates.
+  std::vector<Event> events;
+  events.push_back(ev(1000, 0, 0, EvKind::timer_arm, 0, 42, 9000));
+  events.push_back(ev(1100, 0, 0, EvKind::timer_arm, 0, 43, 9500));
+  events.push_back(ev(1200, 0, 1, EvKind::timer_arm, 0, 42, 7000));
+  events.push_back(ev(2000, 0, 0, EvKind::timer_cancel, 0, 43));
+  events.push_back(ev(9100, 0, 0, EvKind::timer_fire, 0, 42, 100));
+  events.push_back(ev(7400, 0, 1, EvKind::timer_fire, 0, 42, 400));
+  events.push_back(ev(8000, 0, 2, EvKind::timer_fire, 0, 99, 50));  // orphan
+  const TimelineReport report = analyze_timeline(merge_timeline(events));
+  EXPECT_EQ(report.timers.armed, 3u);
+  EXPECT_EQ(report.timers.cancelled, 1u);
+  EXPECT_EQ(report.timers.fired, 3u);
+  EXPECT_EQ(report.timers.matched, 2u);  // p0/42 and p1/42, not the orphan
+  // p0: 9100-1000 = 8100; p1: 7400-1200 = 6200.
+  EXPECT_EQ(report.timers.arm_to_fire_max_us, 8100);
+  EXPECT_DOUBLE_EQ(report.timers.mean_arm_to_fire_us(), (8100 + 6200) / 2.0);
+  EXPECT_EQ(report.timers.fire_latency_max_us, 400u);
+  EXPECT_DOUBLE_EQ(report.timers.mean_fire_latency_us(),
+                   (100 + 400 + 50) / 3.0);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("== timers =="), std::string::npos);
+  EXPECT_NE(text.find("arm->fire"), std::string::npos);
+}
+
 TEST(Timeline, ViewChangeLatencyFromSuspicionToFirstInstall) {
   std::vector<Event> in;
   // Initial formation: no trigger before it → latency unknown (-1).

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/simulator.hpp"
 
 namespace tw::sim {
@@ -50,6 +52,50 @@ TEST(EventQueue, EmptyNextTimeIsNever) {
   EventQueue q;
   EXPECT_EQ(q.next_time(), kNever);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ArmCancelChurnDoesNotLeakTombstones) {
+  // Regression: cancel() erases only the handler, leaving the heap Entry
+  // as a tombstone that used to survive until it surfaced at the top — a
+  // long-lived process doing arm/cancel churn (every retransmit / grace /
+  // backoff timer that gets cancelled before firing) grew the heap without
+  // bound. The queue now compacts when tombstones outnumber live entries.
+  EventQueue q;
+  std::vector<EventId> persistent;
+  for (int i = 0; i < 100; ++i)
+    persistent.push_back(q.schedule(1'000'000 + i, [] {}));
+  std::size_t max_storage = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    // A timer armed far in the future and cancelled before the persistent
+    // set drains: the worst case for tombstone accumulation.
+    const EventId id = q.schedule(500'000 + i % 1000, [] {});
+    ASSERT_TRUE(q.cancel(id));
+    max_storage = std::max(max_storage, q.storage_size());
+  }
+  EXPECT_EQ(q.size(), persistent.size());
+  // Bound: 2 × live + compaction hysteresis, NOT O(churn).
+  EXPECT_LE(max_storage, 2 * persistent.size() + 64);
+  // The queue still works (and in order) after all that compaction.
+  SimTime prev = 0;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GE(fired.time, prev);
+    prev = fired.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, persistent.size());
+}
+
+TEST(EventQueue, CompactionPreservesFifoTieBreak) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i)
+    q.schedule(7, [&order, i] { order.push_back(i); });
+  // Force heavy compaction around the live set.
+  for (int i = 0; i < 10'000; ++i) q.cancel(q.schedule(3, [] {}));
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
 TEST(Simulator, NowAdvancesMonotonically) {
