@@ -177,8 +177,11 @@ DeliveryEngine::AdoptOutcome DeliveryEngine::adopt_oal(const Oal& oal,
   // authoritative window wins. A stale binding not yet delivered is
   // released back to the unordered pool; one we HAVE delivered is a forked
   // lineage — count it divergent so the membership layer re-baselines us
-  // instead of carrying both branches forward.
+  // instead of carrying both branches forward. (occupancy_guard_ is the
+  // model-checking mutation switch: with the guard off, the stale binding
+  // survives and the fork goes unrepaired — torture --explore must find it.)
   for (auto& [pid, s] : slots_) {
+    if (!occupancy_guard_) break;
     if (s.ordinal == kNoOrdinal) continue;
     const OalEntry* oe = adopted_.find_ordinal(s.ordinal);
     if (oe == nullptr) continue;  // binding outside the adopted window

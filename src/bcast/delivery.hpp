@@ -47,6 +47,12 @@ class DeliveryEngine {
   /// emit bcast_deliver. Pass nullptr to detach.
   void set_recorder(obs::Recorder* rec) { recorder_ = rec; }
 
+  /// Mutation switch for model checking (torture --explore): disable the
+  /// ordinal-occupancy conflict repair in adopt_oal, reintroducing the
+  /// within-epoch lineage fork it guards against. Never turn this off
+  /// outside a harness that is deliberately hunting for the fork.
+  void set_occupancy_guard(bool on) { occupancy_guard_ = on; }
+
   // --- proposal receipt ------------------------------------------------
   /// Store a received (or own) proposal. Returns false for duplicates.
   bool note_proposal(const Proposal& p, sim::ClockTime sync_now);
@@ -209,6 +215,8 @@ class DeliveryEngine {
 
   std::map<ProposalId, Slot> slots_;
   Oal adopted_;
+  /// See set_occupancy_guard.
+  bool occupancy_guard_ = true;
   /// Epoch fence: adopt_oal refuses windows from epochs below this.
   GroupId fence_ = 0;
   Ordinal cursor_ = 0;  ///< next ordinal the stream will consider

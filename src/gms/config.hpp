@@ -1,10 +1,19 @@
 // Timing parameters of the timewheel protocol stack.
 #pragma once
 
+#include <cstdint>
+
 #include "clocksync/clock_sync.hpp"
 #include "sim/time.hpp"
 
 namespace tw::gms {
+
+/// Which surveillance-timeout policy the failure detector runs
+/// (failure_detector.hpp). `fixed` is the paper's 2D bound; `adaptive`
+/// tracks the observed ring-hop latency (EWMA + variance margin) and
+/// clamps the result to [fd_floor, 2D], so the paper's bound is the worst
+/// case, never exceeded.
+enum class DetectorKind : std::uint8_t { fixed = 0, adaptive = 1 };
 
 struct NodeConfig {
   /// One-way timeout delay δ of the datagram service (paper §2).
@@ -51,6 +60,21 @@ struct NodeConfig {
   /// for a fresh donor each time) before giving up and flushing buffered
   /// deliveries as-is.
   int state_retry_limit = 6;
+  /// Failure-detector surveillance-timeout policy (see DetectorKind).
+  DetectorKind detector = DetectorKind::fixed;
+  /// Adaptive-policy gains (Jacobson-style): EWMA gain for the hop
+  /// estimate, EWMA gain for the mean deviation, deviation multiplier in
+  /// the safety margin, and how many per-peer samples to collect before
+  /// tightening below the 2D cap.
+  double fd_alpha = 0.125;
+  double fd_beta = 0.25;
+  double fd_margin_k = 4.0;
+  int fd_warmup = 8;
+  /// Mutation switch for model checking (torture --explore): false disables
+  /// the delivery engine's ordinal-occupancy conflict repair, reintroducing
+  /// the within-epoch lineage fork the guard exists to catch. Production
+  /// and every test except the explore mutation suite leave this true.
+  bool occupancy_guard = true;
 
   [[nodiscard]] sim::Duration effective_decision_delay() const {
     return decision_delay > 0 ? decision_delay : big_d / 2;
@@ -63,6 +87,15 @@ struct NodeConfig {
   /// Failure-detector deadline: a control message from the expected sender
   /// is due within 2D of the previous one (paper §4.2).
   [[nodiscard]] sim::Duration fd_timeout() const { return 2 * big_d; }
+  /// Tightest surveillance timeout an adaptive policy may use: a live
+  /// expected sender's next control message trails the expectation base by
+  /// at most its decision delay + transit δ + scheduling σ + clock
+  /// deviation on both ends (the same envelope the round gate's lateness
+  /// check uses), so no timeout at or above this can suspect a Δ-stable
+  /// process.
+  [[nodiscard]] sim::Duration fd_floor(sim::Duration epsilon) const {
+    return delta + 2 * (epsilon + sigma) + effective_decision_delay();
+  }
   /// Control messages older than this are rejected as late (fail-aware
   /// rejection of messages from non-Δ-stable senders; also bounds how long
   /// election messages stay usable — about one cycle, paper §4.2).

@@ -1,8 +1,67 @@
 #include "gms/failure_detector.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/assert.hpp"
 
 namespace tw::gms {
+
+AdaptiveDetectorPolicy::AdaptiveDetectorPolicy(int team_size, Params params)
+    : params_(params) {
+  peers_.resize(static_cast<std::size_t>(team_size));
+}
+
+void AdaptiveDetectorPolicy::observe(ProcessId from, sim::Duration gap) {
+  ++streak_;
+  if (backoff_ > 0 && streak_ % params_.decay_streak == 0) --backoff_;
+  auto& p = peers_.at(from);
+  const double sample = static_cast<double>(gap);
+  if (p.samples == 0) {
+    // Jacobson initialization: first sample seeds the estimate, half of it
+    // seeds the deviation.
+    p.srtt = sample;
+    p.var = sample / 2.0;
+  } else {
+    const double err = sample - p.srtt;
+    excess_ = std::max(excess_ * params_.excess_decay, err);
+    p.srtt += params_.alpha * err;
+    p.var += params_.beta * (std::abs(err) - p.var);
+  }
+  ++p.samples;
+}
+
+sim::Duration AdaptiveDetectorPolicy::timeout(ProcessId peer,
+                                              sim::Duration floor,
+                                              sim::Duration cap) const {
+  const auto& p = peers_.at(peer);
+  if (p.samples < params_.warmup || streak_ < params_.tighten_streak)
+    return cap;
+  const double margin = std::max(params_.margin_k * p.var, excess_);
+  const double scaled =
+      (p.srtt + margin) * static_cast<double>(1u << backoff_);
+  if (scaled >= static_cast<double>(cap)) return cap;
+  auto t = static_cast<sim::Duration>(scaled + 0.5);
+  if (t < floor) t = floor;
+  return t;
+}
+
+void AdaptiveDetectorPolicy::penalize(ProcessId) {
+  streak_ = 0;
+  if (backoff_ < params_.backoff_max) ++backoff_;
+}
+
+void AdaptiveDetectorPolicy::reset() {
+  for (auto& p : peers_) p = PerPeer{};
+  backoff_ = 0;
+  streak_ = 0;
+  excess_ = 0.0;
+}
+
+sim::Duration AdaptiveDetectorPolicy::estimate(ProcessId peer) const {
+  const auto& p = peers_.at(peer);
+  return p.samples == 0 ? -1 : static_cast<sim::Duration>(p.srtt);
+}
 
 FailureDetector::FailureDetector(ProcessId self, int team_size,
                                  sim::Duration slot_len)
@@ -13,11 +72,22 @@ FailureDetector::FailureDetector(ProcessId self, int team_size,
 void FailureDetector::reset() {
   for (auto& p : peers_) p = PerPeer{};
   clear_expectation();
+  if (policy_ != nullptr) policy_->reset();
 }
 
 void FailureDetector::note_control(ProcessId from, sim::ClockTime send_ts,
                                    sim::ClockTime sync_now) {
   auto& p = peers_.at(from);
+  // Ring-hop sample for the adaptive policy: the FIRST control message
+  // satisfying the current expectation closes one surveillance hop. The
+  // sample is sync_now - base_ts — arrival-side, exactly the quantity the
+  // deadline bounds (deadline = base_ts + timeout, checked at receipt), so
+  // the estimator sees transit delay and lateness, not just the sender's
+  // cadence. Later messages from the same sender are ring traffic, not
+  // hops.
+  if (policy_ != nullptr && from == expected_ && send_ts > base_ts_ &&
+      p.last_send_ts <= base_ts_ && sync_now > base_ts_)
+    policy_->observe(from, sync_now - base_ts_);
   if (send_ts > p.last_send_ts) p.last_send_ts = send_ts;
   if (sync_now > p.last_recv_time) p.last_recv_time = sync_now;
 }
@@ -79,6 +149,22 @@ bool FailureDetector::expectation_met() const {
 
 sim::ClockTime FailureDetector::last_ts_from(ProcessId q) const {
   return peers_.at(q).last_send_ts;
+}
+
+sim::Duration FailureDetector::surveillance_timeout(ProcessId sender,
+                                                    sim::Duration floor,
+                                                    sim::Duration cap) const {
+  if (floor > cap) floor = cap;
+  if (policy_ == nullptr) return cap;
+  sim::Duration t = policy_->timeout(sender, floor, cap);
+  if (t < floor) t = floor;
+  if (t > cap) t = cap;
+  return t;
+}
+
+void FailureDetector::note_expectation_timeout() {
+  if (policy_ != nullptr && expected_ != kNoProcess)
+    policy_->penalize(expected_);
 }
 
 }  // namespace tw::gms

@@ -41,10 +41,23 @@ SimHarness::SimHarness(HarnessConfig cfg)
   delivered_.resize(n);
   views_.resize(n);
   lineage_.resize(n);
+  lineage_floor_.resize(n, 0);
 
   for (ProcessId p = 0; p < static_cast<ProcessId>(cfg_.n); ++p) {
     AppCallbacks app;
     app.deliver = [this, p](const bcast::Proposal& prop, Ordinal o) {
+      // Idempotent apply at the crash boundary: after a recovery the
+      // engine redelivers at-least-once (the durable watermark may trail
+      // the deliveries the application already absorbed), so an update
+      // that is already part of the pre-crash application state is a
+      // replay, not a new delivery. Only entries below the last crash's
+      // floor qualify — duplicates within one incarnation stay visible.
+      const std::size_t floor =
+          std::min(lineage_floor_[p], lineage_[p].size());
+      for (std::size_t i = 0; i < floor; ++i) {
+        const auto& e = lineage_[p][i];
+        if (e.pid == prop.id && e.ordinal == o) return;
+      }
       DeliveryRecord rec;
       rec.pid = prop.id;
       rec.ordinal = o;
@@ -87,16 +100,21 @@ SimHarness::SimHarness(HarnessConfig cfg)
       lineage_[p] = std::move(fresh);
     };
     store::StableStore* st = nullptr;
+    store::MemStorage* mem = nullptr;
     if (cfg_.durable_store) {
       mem_.push_back(std::make_unique<store::MemStorage>());
       stores_.push_back(std::make_unique<store::StableStore>(
           *mem_.back(), "p" + std::to_string(p)));
       st = stores_.back().get();
-      // A crash loses the storage's unsynced write-back tail, exactly like
-      // power loss under a real page cache.
-      store::MemStorage* mem = mem_.back().get();
-      cluster_.processes().set_crash_hook(p, [mem] { mem->crash(); });
+      mem = mem_.back().get();
     }
+    // A crash loses the storage's unsynced write-back tail, exactly like
+    // power loss under a real page cache — and marks the lineage floor so
+    // the idempotent-apply dedup above knows which entries predate it.
+    cluster_.processes().set_crash_hook(p, [this, p, mem] {
+      if (mem != nullptr) mem->crash();
+      lineage_floor_[p] = lineage_[p].size();
+    });
     nodes_.push_back(std::make_unique<TimewheelNode>(cluster_.endpoint(p),
                                                      cfg_.node, app, st));
     cluster_.bind(p, *nodes_.back());

@@ -167,6 +167,13 @@ class SimHarness {
   std::vector<std::vector<DeliveryRecord>> delivered_;
   std::vector<std::vector<ViewRecord>> views_;
   std::vector<std::vector<LineageEntry>> lineage_;
+  /// Per process: lineage length at its most recent crash. Entries below
+  /// this floor belong to earlier incarnations; the application dedups
+  /// redeliveries against them (at-least-once across a recovery — the
+  /// store loses its unsynced watermark tail — must be absorbed by an
+  /// idempotent apply, while a double delivery WITHIN one incarnation is
+  /// an engine bug the lineage checks must keep seeing).
+  std::vector<std::size_t> lineage_floor_;
 };
 
 }  // namespace tw::gms

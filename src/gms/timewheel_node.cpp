@@ -28,6 +28,13 @@ TimewheelNode::TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg,
                   deliver_to_app(p, o);
                 }) {
   TW_ASSERT_MSG(n_ >= 2 && n_ <= 64, "team size must be in [2, 64]");
+  if (cfg_.detector == DetectorKind::adaptive) {
+    detector_policy_ = std::make_unique<AdaptiveDetectorPolicy>(
+        n_, AdaptiveDetectorPolicy::Params{cfg_.fd_alpha, cfg_.fd_beta,
+                                           cfg_.fd_margin_k, cfg_.fd_warmup});
+    fd_.set_policy(detector_policy_.get());
+  }
+  if (!cfg_.occupancy_guard) delivery_.set_occupancy_guard(false);
   join_infos_.resize(static_cast<std::size_t>(n_));
   recon_infos_.resize(static_cast<std::size_t>(n_));
   nd_infos_.resize(static_cast<std::size_t>(n_));
@@ -60,6 +67,7 @@ TimewheelNode::TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg,
             out[prefix + "rehabilitations"] = stats_.rehabilitations;
             out[prefix + "proposal_batches_sent"] =
                 stats_.proposal_batches_sent;
+            out[prefix + "stale_dropped"] = stats_.stale_dropped;
             if (store_)
               out[prefix + "store_sync_failures"] = store_->sync_failures();
           });
@@ -101,7 +109,7 @@ void TimewheelNode::full_reset() {
   gid_ = 0;
   group_.clear();
   suspect_ = kNoProcess;
-  last_decision_ts_ = -1;
+  round_.reset();
   last_decision_no_ = 0;
   last_decider_ = kNoProcess;
   i_am_decider_ = false;
@@ -168,7 +176,7 @@ void TimewheelNode::on_start() {
   if (store_) {
     incarnation_ = store_->begin_incarnation();
     const store::RecoveryKernel& k = store_->kernel();
-    durable_gid_floor_ = k.gid;
+    round_.set_durable_floor(k.gid);
     // Satellite of the continuity rule: the durable reservation watermark
     // replaces the clock heuristic — every id strictly below it may have
     // been used by an earlier incarnation, no matter what the clock says.
@@ -355,12 +363,12 @@ void TimewheelNode::on_housekeeping() {
   // for two cycles while we sit in failure-free, the decider role is lost
   // in a way the per-message FD cannot see — raise the suspicion ourselves.
   if (state_ == GcState::failure_free && in_group() && !i_am_decider_ &&
-      last_decision_ts_ >= 0 &&
-      *now - last_decision_ts_ > 2 * slots_.cycle_len()) {
+      round_.last_round() >= 0 &&
+      *now - round_.last_round() > 2 * slots_.cycle_len()) {
     const ProcessId e = expected_decider_ != kNoProcess
                             ? expected_decider_
                             : group_.successor_of(self());
-    fd_.expect(e, last_decision_ts_, *now);
+    fd_.expect(e, round_.last_round(), *now);
     on_fd_timeout();
     return;
   }
@@ -452,22 +460,6 @@ void TimewheelNode::on_datagram(ProcessId from,
   }
 }
 
-bool TimewheelNode::accept_control(ProcessId from, sim::ClockTime send_ts,
-                                   util::ProcessSet alive,
-                                   sim::ClockTime now) {
-  // Fail-aware rejection of late messages ("p can detect all messages from
-  // non-Δ-stable processes as being late and can reject them", §3): a
-  // control message older than about a cycle is useless and dangerous.
-  if (now - send_ts > cfg_.staleness_bound(n_)) return false;
-  if (send_ts - now > clock_.epsilon() + cfg_.sigma + cfg_.delta)
-    return false;  // from the future: sender's clock is broken
-  // Duplicate / old-message filter (§4.2).
-  if (!fd_.newer_than_seen(from, send_ts)) return false;
-  fd_.note_control(from, send_ts, now);
-  fd_.note_peer_alive_list(from, alive, now);
-  return true;
-}
-
 // ---------------------------------------------------------------------------
 // Failure-detector surveillance
 // ---------------------------------------------------------------------------
@@ -511,7 +503,12 @@ void TimewheelNode::expect_next(ProcessId sender, sim::ClockTime base_ts) {
   // order (the ring's messages take independent paths) must not rewind the
   // expectation to an already-satisfied sender.
   if (fd_.expecting() && base_ts < fd_.base_ts()) return;
-  const sim::ClockTime deadline = base_ts + cfg_.fd_timeout();
+  // The surveillance timeout is the policy's call (fixed 2D or adaptive),
+  // clamped so it can never exceed the paper's bound nor undercut the
+  // envelope a live sender needs.
+  const sim::ClockTime deadline =
+      base_ts + fd_.surveillance_timeout(sender, cfg_.fd_floor(clock_.epsilon()),
+                                         cfg_.fd_timeout());
   fd_.expect(sender, base_ts, deadline);
   arm_sync_timer(fd_timer_, deadline, [this] {
     if (!fd_.expecting()) return;
@@ -533,6 +530,7 @@ void TimewheelNode::on_fd_timeout() {
   if (!now_opt) return;
   const sim::ClockTime now = *now_opt;
   const ProcessId e = fd_.expected_sender();
+  fd_.note_expectation_timeout();
   fd_.clear_expectation();
   ++stats_.suspicions_raised;
   ep_.trace(TraceKind::suspicion, e);
@@ -562,8 +560,7 @@ void TimewheelNode::on_fd_timeout() {
         // decision).
         const ProcessId pa = pred_active(self());
         const auto& info = nd_infos_[pa];
-        if (info.ts > last_decision_ts_ &&
-            now - info.ts <= cfg_.staleness_bound(n_) &&
+        if (info.ts > round_.last_round() && round_.fresh(info.ts, now) &&
             info.suspect == suspect_) {
           if (self() == group_.predecessor_of(suspect_)) {
             close_single_failure_election(now);
@@ -595,39 +592,14 @@ void TimewheelNode::handle_decision(ProcessId from, bcast::Decision d) {
   const auto now_opt = sync_now();
   if (!now_opt) return;
   const sim::ClockTime now = *now_opt;
-  if (!accept_control(from, d.send_ts, d.alive, now)) return;
-  if (d.send_ts <= last_decision_ts_) return;  // we know something fresher
-
-  // Epoch fence: the timestamp check above is a heuristic, not an order —
-  // across a partition heal (or a clock-step fault) a decision from a
-  // superseded group can carry a FRESHER send_ts than the epoch we
-  // installed. Group ids are monotone along every chain of majority
-  // groups, so a decision whose gid regresses below ours is from a stale
-  // epoch: acting on it would rebind ordinals of the installed history.
-  if (installed_ && d.gid < gid_) {
-    if (auto* rec = ep_.obs())
-      rec->emit(obs::EvKind::epoch_fence, 1, d.gid, gid_);
-    TW_DEBUG("p" << self() << ": refusing stale-epoch decision (gid "
-                 << d.gid << " < installed " << gid_ << ")");
+  // Every staleness / round / epoch / lateness fence lives in the gate
+  // (gms/round.hpp); what passes is from the current round structure.
+  if (round_.admit({RoundMsg::decision, from, d.send_ts, d.gid, &d.alive},
+                   now) != RoundDrop::accepted)
     return;
-  }
-
-  // Fail-aware lateness rejection (§3): a decision older than δ + ε + σ was
-  // sent by a process that is not Δ-stable towards us; acting on it (in
-  // particular assuming the decider role from it) could create a second
-  // decider. The one exception is the wrong-suspicion masking path: the
-  // CURRENT suspect resending its last decision must be heard.
-  // Bound: transit δ + scheduling σ + twice the clock deviation ε (the
-  // receiver may sit at +ε and the sender at -ε of real time, and a freshly
-  // resynchronized clock can be at the envelope's edge), doubled for σ as
-  // well. Must stay below the 2D wrong-suspicion resend window it exists to
-  // discriminate against (2D = 2·big_d; defaults: 59ms < 100ms).
   const bool from_suspect = suspect_ != kNoProcess && from == suspect_;
-  const bool late = now - d.send_ts >
-                    cfg_.delta + 2 * (clock_.epsilon() + cfg_.sigma);
-  if (late && !from_suspect) return;
 
-  last_decision_ts_ = d.send_ts;
+  round_.advance_round(d.send_ts);
   last_decision_no_ = d.decision_no;
   last_decider_ = d.decider;
 
@@ -676,14 +648,15 @@ void TimewheelNode::handle_decision(ProcessId from, bcast::Decision d) {
     }
     if (!fresh_formation) {
       // Remember the freshest group for the continuity rule and adopt the
-      // oal knowledge (we already advanced last_decision_ts_ above — a
+      // oal knowledge (we already advanced the round cursor above — a
       // node whose timestamp is fresh but whose ordinal knowledge is stale
       // would defeat the join protocol's knowledge rule and could later
       // extend an outdated branch). We still do not JOIN the group.
       gid_ = d.gid;
       group_ = d.group;
       installed_ = true;
-      delivery_.adopt_oal(d.oal, d.gid);
+      const auto adopt = delivery_.adopt_oal(d.oal, d.gid);
+      if (adopt.divergent > 0) note_forked_lineage(adopt);
       run_delivery(now);
       return;
     }
@@ -787,9 +760,14 @@ void TimewheelNode::handle_exclusion(const bcast::Decision& d, ProcessId from,
   // Also keep the oal knowledge (ordinal bindings, ack state): an excluded
   // process that later rejoins or wins an election must never re-order a
   // proposal the group already bound. Deliveries this triggers are the
-  // §3-sanctioned divergence of a non-member and are superseded by the
-  // state transfer at re-integration.
-  delivery_.adopt_oal(d.oal, d.gid);
+  // §3-sanctioned divergence of a non-member; if the adopted window says
+  // deliveries we ALREADY handed to the application lost (divergent), the
+  // re-integration MUST re-baseline us — remember the fork, because the
+  // group will otherwise re-admit us as a clean member, no state transfer
+  // coming, and the two branches would both survive into the final
+  // histories (the lineage-conflict class torture --explore flushed out).
+  const auto adopt = delivery_.adopt_oal(d.oal, d.gid);
+  if (adopt.divergent > 0) note_forked_lineage(adopt);
   run_delivery(now);
 
   if (state_ == GcState::n_failure) {
@@ -923,7 +901,7 @@ void TimewheelNode::send_decision(sim::ClockTime now) {
   d.group = group_;
   d.decision_no = ++last_decision_no_;
   d.decider = self();
-  d.send_ts = std::max(now, last_decision_ts_ + 1);
+  d.send_ts = std::max(now, round_.last_round() + 1);
   d.alive = fd_.alive_list(now);
   d.joiners = joiner_set;
   d.oal = std::move(oal);
@@ -936,7 +914,7 @@ void TimewheelNode::send_decision(sim::ClockTime now) {
   ep_.trace(TraceKind::decision_sent, gid_, d.decision_no);
 
   // Self-adoption: the decider is also a member.
-  last_decision_ts_ = d.send_ts;
+  round_.advance_round(d.send_ts);
   last_decider_ = self();
   delivery_.adopt_oal(d.oal, gid_);
   run_delivery(now);
@@ -947,7 +925,12 @@ void TimewheelNode::send_decision(sim::ClockTime now) {
   expect_next(expected_decider_, d.send_ts);
 
   // State transfer to freshly integrated joiners (paper §4.2).
-  for (ProcessId j : joiners) send_state_transfer(j, d.send_ts);
+  // State transfer to freshly integrated joiners — unless our own
+  // application state awaits a re-baseline (dirty or forked): a poisoned
+  // donation would propagate the losing branch into the joiner, whose
+  // solicitation retry walk reaches a clean member instead.
+  if (!recovered_dirty_ && !awaiting_state_ && !lineage_forked_)
+    for (ProcessId j : joiners) send_state_transfer(j, d.send_ts);
 }
 
 void TimewheelNode::send_state_transfer(ProcessId to,
@@ -975,7 +958,9 @@ void TimewheelNode::handle_state_request(ProcessId from) {
   // except one that is itself waiting to be re-baselined after a crash
   // recovery (its application state and engine marks are incoherent). The
   // requester's ring walk reaches a clean member on a later retry.
-  if (!now || !in_group() || recovered_dirty_ || awaiting_state_) return;
+  if (!now || !in_group() || recovered_dirty_ || awaiting_state_ ||
+      lineage_forked_)
+    return;
   send_state_transfer(from, *now);
 }
 
@@ -1010,19 +995,22 @@ void TimewheelNode::solicit_rejoin(sim::ClockTime now) {
   RejoinRequest rq;
   rq.send_ts = now;
   rq.incarnation = incarnation_;
-  rq.gid = durable_gid_floor_;
+  rq.gid = round_.durable_floor();
   ep_.send(rejoin_target_, rq.encode());
 }
 
 void TimewheelNode::handle_rejoin_request(ProcessId from, RejoinRequest rq) {
   const auto now = sync_now();
   if (!now) return;
-  // Staleness check only — accept_control() would also record the sender
-  // in the failure detector, and a zombie's solicitation must not refresh
-  // its standing as a live member.
-  if (*now - rq.send_ts > cfg_.staleness_bound(n_)) return;
+  // The gate applies the staleness check only for this kind — recording
+  // the sender in the failure detector would refresh a zombie's standing
+  // as a live member.
+  if (round_.admit({RoundMsg::rejoin_request, from, rq.send_ts}, *now) !=
+      RoundDrop::accepted)
+    return;
   // Same donor-fitness rule as handle_state_request.
-  if (!in_group() || recovered_dirty_ || awaiting_state_) return;
+  if (!in_group() || recovered_dirty_ || awaiting_state_ || lineage_forked_)
+    return;
   TW_DEBUG("p" << self() << " answers rejoin solicitation from p" << from
                << " (incarnation " << rq.incarnation << ")");
   send_state_transfer(from, *now);
@@ -1210,7 +1198,7 @@ void TimewheelNode::send_no_decision(sim::ClockTime now) {
   nd.suspect = suspect_;
   nd.gid = gid_;
   nd.send_ts = std::max(now, fd_.last_ts_from(self()) + 1);
-  nd.last_decision_ts = last_decision_ts_;
+  nd.last_decision_ts = round_.last_round();
   nd.alive = fd_.alive_list(now);
   nd.view = delivery_.view(now);
   nd.dpd = delivery_.dpd();
@@ -1233,14 +1221,9 @@ void TimewheelNode::handle_no_decision(ProcessId from, NoDecision nd) {
   const auto now_opt = sync_now();
   if (!now_opt) return;
   const sim::ClockTime now = *now_opt;
-  if (!accept_control(from, nd.send_ts, nd.alive, now)) {
+  if (round_.admit({RoundMsg::no_decision, from, nd.send_ts, 0, &nd.alive},
+                   now) != RoundDrop::accepted)
     return;
-  }
-  // A no-decision older than the freshest decision belongs to an episode
-  // that a decision already resolved; it must not feed a new election.
-  if (nd.send_ts <= last_decision_ts_) {
-    return;
-  }
 
   nd_infos_[from] = ElectionInfo{nd.view, nd.dpd, nd.send_ts, nd.suspect};
 
@@ -1250,7 +1233,7 @@ void TimewheelNode::handle_no_decision(ProcessId from, NoDecision nd) {
     case GcState::failure_free: {
       if (from != expected_decider_) return;  // not part of our surveillance
       suspect_ = nd.suspect;
-      if (last_decision_ts_ > nd.last_decision_ts) {
+      if (round_.last_round() > nd.last_decision_ts) {
         // We hold a decision the suspecter missed: we do NOT concur —
         // wrong suspicion (§4.2). Only this branch may lead to the
         // become-decider-from-current-knowledge path; a member whose
@@ -1360,7 +1343,7 @@ void TimewheelNode::close_single_failure_election(sim::ClockTime now) {
     std::vector<bcast::ProposalId> dpds;
     for (ProcessId m : members) {
       const auto& info = nd_infos_[m];
-      if (info.ts >= 0 && now - info.ts <= cfg_.staleness_bound(n_))
+      if (round_.fresh(info.ts, now))
         dpds.insert(dpds.end(), info.dpd.begin(), info.dpd.end());
     }
     create_group(members, util::ProcessSet{suspect_}, std::move(dpds), {},
@@ -1442,10 +1425,9 @@ void TimewheelNode::create_group(util::ProcessSet members,
   for (ProcessId m : members) {
     if (m == self()) continue;
     const auto& nd = nd_infos_[m];
-    if (nd.ts >= 0 && now - nd.ts <= cfg_.staleness_bound(n_))
-      fold_view(nd.view, m);
+    if (round_.fresh(nd.ts, now)) fold_view(nd.view, m);
     const auto& rc = recon_infos_[m];
-    if (rc.valid && now - rc.msg.send_ts <= cfg_.staleness_bound(n_)) {
+    if (rc.valid && round_.fresh(rc.msg.send_ts, now)) {
       fold_view(rc.msg.view, m);
       extra_dpds.insert(extra_dpds.end(), rc.msg.dpd.begin(),
                         rc.msg.dpd.end());
@@ -1496,6 +1478,23 @@ void TimewheelNode::create_group(util::ProcessSet members,
     // that supplied it is by construction on the winning branch — ask it
     // for a baseline first.
     begin_rebaseline(adopt, now, freshest_donor);
+  } else if (lineage_forked_) {
+    if (group_.size() < 2) {
+      // Sole survivor: nobody can supply a cleaner baseline, so the
+      // forked branch IS the history from here on.
+      lineage_forked_ = false;
+    } else {
+      // The engine window already carries the winning branch (its slots
+      // were repaired when the fork was first detected), so this adopt
+      // reports no divergence — but the APPLICATION state still holds
+      // the losing branch's deliveries, and only the sticky flag
+      // remembers. Even as creator we must fetch a supporter's baseline
+      // before delivering (or donating) anything further. Note the merge
+      // base being our own window does NOT make our app state clean: the
+      // winning bindings were adopted into the engine at exclusion time,
+      // after the forked deliveries had already reached the app.
+      begin_rebaseline(adopt, now, freshest_donor);
+    }
   }
 
   // Send the first decision of the new group.
@@ -1505,7 +1504,7 @@ void TimewheelNode::create_group(util::ProcessSet members,
   d.group = group_;
   d.decision_no = ++last_decision_no_;
   d.decider = self();
-  d.send_ts = std::max(now, last_decision_ts_ + 1);
+  d.send_ts = std::max(now, round_.last_round() + 1);
   d.alive = fd_.alive_list(now);
   for (ProcessId j : joiners) d.joiners.insert(j);
   d.oal = std::move(repaired.oal);
@@ -1517,7 +1516,7 @@ void TimewheelNode::create_group(util::ProcessSet members,
   ++stats_.decisions_sent;
   ep_.trace(TraceKind::decision_sent, gid_, d.decision_no);
 
-  last_decision_ts_ = d.send_ts;
+  round_.advance_round(d.send_ts);
   last_decider_ = self();
   delivery_.adopt_oal(d.oal);
   run_delivery(now);
@@ -1526,7 +1525,12 @@ void TimewheelNode::create_group(util::ProcessSet members,
   expected_decider_ = group_.successor_of(self());
   expect_next(expected_decider_, d.send_ts);
 
-  for (ProcessId j : joiners) send_state_transfer(j, d.send_ts);
+  // State transfer to freshly integrated joiners — unless our own
+  // application state awaits a re-baseline (dirty or forked): a poisoned
+  // donation would propagate the losing branch into the joiner, whose
+  // solicitation retry walk reaches a clean member instead.
+  if (!recovered_dirty_ && !awaiting_state_ && !lineage_forked_)
+    for (ProcessId j : joiners) send_state_transfer(j, d.send_ts);
 }
 
 // ---------------------------------------------------------------------------
@@ -1560,7 +1564,7 @@ void TimewheelNode::send_reconfiguration(sim::ClockTime now, bool abstain) {
     my_recon_list_ = r.recon_list;
   }
   if (!abstain) ++stats_.reconfigurations_sent;
-  r.last_decision_ts = last_decision_ts_;
+  r.last_decision_ts = round_.last_round();
   r.last_gid = gid_;
   r.last_group = group_;
   r.alive = fd_.alive_list(now);
@@ -1605,7 +1609,7 @@ void TimewheelNode::reconfiguration_slot_duties(sim::ClockTime now,
       if (!info.valid || info.msg.abstaining()) continue;
       if (!slots_.in_last_slot_of(q, info.msg.send_ts, slot)) continue;
       if (!(info.msg.recon_list == my_recon_list_)) continue;
-      if (info.msg.last_decision_ts > last_decision_ts_) continue;
+      if (info.msg.last_decision_ts > round_.last_round()) continue;
       if (!group_.contains(q)) continue;  // condition (4)
       support.insert(q);
     }
@@ -1623,7 +1627,9 @@ void TimewheelNode::handle_reconfiguration(ProcessId from,
   const auto now_opt = sync_now();
   if (!now_opt) return;
   const sim::ClockTime now = *now_opt;
-  if (!accept_control(from, r.send_ts, r.alive, now)) return;
+  if (round_.admit({RoundMsg::reconfiguration, from, r.send_ts, 0, &r.alive},
+                   now) != RoundDrop::accepted)
+    return;
 
   recon_infos_[from] = ReconInfo{std::move(r), true};
 
@@ -1649,13 +1655,13 @@ void TimewheelNode::send_join(sim::ClockTime now) {
   Join j;
   j.send_ts = std::max(now, fd_.last_ts_from(self()) + 1);
   j.join_list = current_join_list(slots_.slot_index(now));
-  j.last_decision_ts = last_decision_ts_;
+  j.last_decision_ts = round_.last_round();
   // gid_ survives a desync (knowledge is stale, not lost) and is zeroed by
   // full_reset, so it is exactly "the freshest group whose history we still
   // carry" — which is what the continuity rule needs to see.
   j.gid = gid_;
   join_infos_[self()] =
-      JoinInfo{j.join_list, j.send_ts, last_decision_ts_, j.gid};
+      JoinInfo{j.join_list, j.send_ts, round_.last_round(), j.gid};
   auto bytes = j.encode();
   last_control_sent_ = bytes;
   ep_.broadcast(std::move(bytes));
@@ -1737,11 +1743,11 @@ void TimewheelNode::join_slot_duties(sim::ClockTime now, std::int64_t slot) {
           // replica history among the forming group, so nothing a member
           // knows about is silently lost and stale members can be brought
           // up to date with a state transfer.
-          info.last_decision_ts > last_decision_ts_) {
+          info.last_decision_ts > round_.last_round()) {
         all_confirm = false;
         break;
       }
-      if (info.last_decision_ts < last_decision_ts_)
+      if (info.last_decision_ts < round_.last_round())
         stale_joiners.push_back(q);
     }
     if (all_confirm) {
@@ -1756,7 +1762,9 @@ void TimewheelNode::handle_join(ProcessId from, Join j) {
   const auto now_opt = sync_now();
   if (!now_opt) return;
   const sim::ClockTime now = *now_opt;
-  if (!accept_control(from, j.send_ts, j.join_list, now)) return;
+  if (round_.admit({RoundMsg::join, from, j.send_ts, 0, &j.join_list},
+                   now) != RoundDrop::accepted)
+    return;
   join_infos_[from] =
       JoinInfo{j.join_list, j.send_ts, j.last_decision_ts, j.gid};
   // Group members see the joiner through the FD's alive-list; the right
@@ -1768,31 +1776,14 @@ void TimewheelNode::handle_join(ProcessId from, Join j) {
 // ---------------------------------------------------------------------------
 
 void TimewheelNode::handle_state_transfer(ProcessId from, StateTransfer st) {
-  (void)from;
   const auto now_opt = sync_now();
   if (!now_opt) return;
   const sim::ClockTime now = *now_opt;
-  // Stale-donor validation: the durable kernel remembers the last view
-  // this process installed before crashing. A transfer from an older group
-  // (a partitioned straggler, a delayed datagram from before the crash)
-  // would re-baseline us onto state the group has since superseded.
-  if (recovered_dirty_ && store_ && st.gid < durable_gid_floor_) {
-    TW_WARN("p" << self() << ": ignoring stale state transfer (gid "
-                << st.gid << " < durable floor " << durable_gid_floor_
-                << ")");
+  // Durable-floor and epoch fences live in the gate; a transfer carries no
+  // liveness claim, so the gate applies only those for this kind.
+  if (round_.admit({RoundMsg::state_transfer, from, st.send_ts, st.gid},
+                   now) != RoundDrop::accepted)
     return;
-  }
-  // Epoch fence: a transfer built in an older epoch than the view we have
-  // installed describes a superseded branch — adopting it would rewind our
-  // delivery marks onto the losing side of a heal. (The durable floor above
-  // only protects a recovering process; this protects every member.)
-  if (installed_ && st.gid < gid_) {
-    if (auto* rec = ep_.obs())
-      rec->emit(obs::EvKind::epoch_fence, 1, st.gid, gid_);
-    TW_WARN("p" << self() << ": refusing state transfer from stale epoch "
-                << st.gid << " (installed " << gid_ << ")");
-    return;
-  }
   ++stats_.state_transfers_received;
   TW_DEBUG("p" << self() << " state transfer: " << st.proposals.size()
                << " proposals, " << st.marks.ordered_below.size()
@@ -1821,19 +1812,23 @@ void TimewheelNode::handle_state_transfer(ProcessId from, StateTransfer st) {
   });
   for (const auto& p : st.proposals) delivery_.note_proposal(p, now);
   delivery_.adopt_oal(st.oal, st.gid);
-  if (awaiting_state_ || recovered_dirty_) {
+  if (awaiting_state_ || recovered_dirty_ || lineage_forked_) {
     const bool was_dirty = recovered_dirty_;
+    const bool was_forked = lineage_forked_;
     const auto flushed = buffered_deliveries_.size();
     awaiting_state_ = false;
     recovered_dirty_ = false;  // app state and engine marks re-baselined
+    lineage_forked_ = false;   // the forked branch was just replaced
     rejoin_attempts_ = 0;      // solicitation answered: reset the backoff
     cancel_timer(state_wait_timer_);
     flush_buffered_deliveries();
-    if (was_dirty) {
+    if (was_dirty || was_forked) {
       ++stats_.rehabilitations;
       if (auto* rec = ep_.obs())
-        rec->emit(obs::EvKind::rehabilitated, 0, st.gid, flushed);
+        rec->emit(obs::EvKind::rehabilitated, was_dirty ? 0 : 3, st.gid,
+                  flushed);
       TW_INFO("p" << self() << " rehabilitated into gid " << st.gid
+                  << (was_dirty ? "" : " (forked lineage replaced)")
                   << " (flushed " << flushed << " buffered deliveries)");
     }
     // The re-baselined state is the new durable floor: record it, then
@@ -1868,16 +1863,22 @@ void TimewheelNode::install_view(GroupId gid, util::ProcessSet members,
   if (app_.view_change) app_.view_change(gid, members);
 
   if (!was_member && members.contains(self())) {
-    if ((expect_state_transfer || recovered_dirty_) &&
-        state_ == GcState::join) {
+    if (((expect_state_transfer || recovered_dirty_) &&
+         state_ == GcState::join) ||
+        lineage_forked_) {
       // Joining a pre-existing group: hold application deliveries until the
       // state transfer has installed the base state (or a timeout passes —
       // the integrating decider may have crashed right after deciding).
+      // A member re-admitted with a forked delivered history takes this
+      // path REGARDLESS of how it was re-admitted: the group believes its
+      // replica state is intact (no transfer is coming unsolicited), so it
+      // must actively replace the forked branch before delivering more.
       awaiting_state_ = true;
       state_request_retries_ = 0;
       arm_sync_timer(state_wait_timer_,
                      now + retry_backoff(0) + retry_jitter(0),
                      [this] { retry_state_request(); });
+      if (lineage_forked_ && !expect_state_transfer) retry_state_request();
     }
     flush_pending_proposals(now);
   }
@@ -1891,6 +1892,7 @@ void TimewheelNode::retry_state_request() {
     TW_WARN("p" << self() << ": state transfer still missing after "
                 << state_request_retries_ << " requests; giving up");
     awaiting_state_ = false;
+    lineage_forked_ = false;  // liveness over a repair nobody can supply
     if (recovered_dirty_) {
       recovered_dirty_ = false;
       ++stats_.rehabilitations;
@@ -1935,7 +1937,11 @@ void TimewheelNode::begin_rebaseline(
               << outcome.window_epoch
               << "; re-soliciting a fresh baseline");
   if (awaiting_state_) return;  // a solicitation is already in flight
-  if (!in_group() || group_.size() < 2) return;  // no donor to ask
+  if (!in_group() || group_.size() < 2) {
+    // No donor reachable right now; the fork must survive until one is.
+    note_forked_lineage(outcome);
+    return;
+  }
   // Buffer further application deliveries until a state transfer replaces
   // the forked history, exactly like a joiner integrating into a
   // pre-existing group.
@@ -1954,6 +1960,21 @@ void TimewheelNode::begin_rebaseline(
   } else {
     retry_state_request();
   }
+}
+
+void TimewheelNode::note_forked_lineage(
+    const bcast::DeliveryEngine::AdoptOutcome& outcome) {
+  if (lineage_forked_) return;
+  lineage_forked_ = true;
+  if (auto* rec = ep_.obs())
+    rec->emit(obs::EvKind::epoch_fence, 3,
+              static_cast<std::uint64_t>(outcome.divergent),
+              outcome.window_epoch);
+  TW_WARN("p" << self() << ": " << outcome.divergent
+              << " delivered binding(s) superseded by epoch "
+              << outcome.window_epoch
+              << " while no re-baseline donor is reachable; history marked "
+                 "forked until a state transfer replaces it");
 }
 
 sim::Duration TimewheelNode::retry_backoff(int attempt) const {

@@ -19,6 +19,7 @@
 #include "gms/config.hpp"
 #include "gms/failure_detector.hpp"
 #include "gms/messages.hpp"
+#include "gms/round.hpp"
 #include "gms/slots.hpp"
 #include "gms/state.hpp"
 #include "net/transport.hpp"
@@ -62,6 +63,7 @@ struct NodeStats {
   std::uint64_t rejoin_requests_sent = 0;   ///< zombie-rehab solicitations
   std::uint64_t rehabilitations = 0;        ///< recoveries re-baselined
   std::uint64_t proposal_batches_sent = 0;  ///< multi-proposal datagrams
+  std::uint64_t stale_dropped = 0;          ///< round-gate refusals
 };
 
 class TimewheelNode final : public net::Handler {
@@ -111,6 +113,9 @@ class TimewheelNode final : public net::Handler {
     return delivery_;
   }
   [[nodiscard]] const FailureDetector& failure_detector() const { return fd_; }
+  /// The communication-closed round choke point (all inbound control
+  /// traffic is classified by it; see gms/round.hpp).
+  [[nodiscard]] const RoundGate& round_gate() const { return round_; }
   [[nodiscard]] const NodeConfig& config() const { return cfg_; }
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
   /// True from a crash recovery until a state transfer (or an election we
@@ -118,6 +123,12 @@ class TimewheelNode final : public net::Handler {
   /// run must end with this false on every member — the torture oracle's
   /// rehabilitation-liveness invariant.
   [[nodiscard]] bool recovered_dirty() const { return recovered_dirty_; }
+  /// True while this process carries application deliveries that a later
+  /// authoritative window superseded (adopt_oal reported them divergent at
+  /// a moment no re-baseline could run, e.g. while excluded). Forces the
+  /// state-transfer re-baseline at re-integration; same oracle contract as
+  /// recovered_dirty(): a converged run ends with this false everywhere.
+  [[nodiscard]] bool lineage_forked() const { return lineage_forked_; }
   [[nodiscard]] bool awaiting_state() const { return awaiting_state_; }
   [[nodiscard]] std::size_t buffered_delivery_count() const {
     return buffered_deliveries_.size();
@@ -156,11 +167,6 @@ class TimewheelNode final : public net::Handler {
   void solicit_rejoin(sim::ClockTime now);
   void send_state_transfer(ProcessId to, sim::ClockTime send_ts);
   void handle_retransmit_request(ProcessId from, bcast::RetransmitRequest rq);
-
-  /// Shared control-message preamble: staleness + duplicate filtering, FD
-  /// and alive bookkeeping. Returns false if the message must be ignored.
-  bool accept_control(ProcessId from, sim::ClockTime send_ts,
-                      util::ProcessSet alive, sim::ClockTime now);
 
   // --- FD surveillance -------------------------------------------------
   /// Point the FD at `sender` (skipping the current suspect), due 2D after
@@ -228,6 +234,10 @@ class TimewheelNode final : public net::Handler {
   void begin_rebaseline(const bcast::DeliveryEngine::AdoptOutcome& outcome,
                         sim::ClockTime now,
                         ProcessId preferred_donor = kNoProcess);
+  /// A divergent adoption at a moment no solicitation can run (excluded,
+  /// or no donor): mark the delivered history forked so re-integration
+  /// re-baselines instead of trusting our replica state.
+  void note_forked_lineage(const bcast::DeliveryEngine::AdoptOutcome& outcome);
   /// Exponential backoff (capped) for solicitation retries.
   [[nodiscard]] sim::Duration retry_backoff(int attempt) const;
   /// Deterministic per-process jitter so healed teams don't retry in
@@ -262,7 +272,14 @@ class TimewheelNode final : public net::Handler {
 
   csync::ClockSync clock_;
   FailureDetector fd_;
+  /// Surveillance-timeout policy (cfg_.detector); fd_ holds a non-owning
+  /// pointer. nullptr when cfg_.detector == fixed (the FD's default path).
+  std::unique_ptr<DetectorPolicy> detector_policy_;
   bcast::DeliveryEngine delivery_;
+  /// The round gate reads the node's (epoch, round) position directly
+  /// (single source of truth) and owns the round cursor + durable floor.
+  friend class RoundGate;
+  RoundGate round_{*this};
 
   GcState state_ = GcState::join;
 
@@ -272,8 +289,7 @@ class TimewheelNode final : public net::Handler {
   util::ProcessSet group_;
   ProcessId suspect_ = kNoProcess;
 
-  // Freshest decision we know.
-  sim::ClockTime last_decision_ts_ = -1;
+  // Freshest decision we know (the round cursor itself lives in round_).
   std::uint64_t last_decision_no_ = 0;
   ProcessId last_decider_ = kNoProcess;
 
@@ -338,16 +354,18 @@ class TimewheelNode final : public net::Handler {
   /// (volatile) broadcast engine no longer remembers, so application
   /// deliveries are buffered to avoid handing the same update over twice.
   bool recovered_dirty_ = false;
+  /// Divergent delivered history detected while no re-baseline could run
+  /// (not a member, or no donor). Sticky until a state transfer replaces
+  /// the application state, until we create a group (our knowledge becomes
+  /// the baseline), or until the solicitation retry budget is exhausted.
+  bool lineage_forked_ = false;
   std::vector<std::pair<bcast::Proposal, Ordinal>> buffered_deliveries_;
   net::TimerId state_wait_timer_ = net::kNoTimer;
   int state_request_retries_ = 0;
 
-  // Crash-recovery rehabilitation (stable store present).
+  // Crash-recovery rehabilitation (stable store present). The durable view
+  // floor (refusing stale re-baseline donors) lives in round_.
   std::uint64_t incarnation_ = 0;
-  /// Durable view floor from the stable store: a state transfer whose gid
-  /// is below it would re-baseline us with state older than what our
-  /// durable application state already reflects — refuse such donors.
-  GroupId durable_gid_floor_ = 0;
   sim::ClockTime last_rejoin_ts_ = -1;
   ProcessId rejoin_target_ = kNoProcess;
   /// Consecutive unanswered rejoin solicitations (drives the backoff).

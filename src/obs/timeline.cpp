@@ -1,6 +1,7 @@
 #include "obs/timeline.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 
 #include "net/msg_kind.hpp"  // header-only: names for wire kind bytes
@@ -22,6 +23,24 @@ namespace {
 /// 1-failure-send=4, n-failure=5). A view install following one of these
 /// (or an explicit suspicion) is attributed to that trigger.
 bool is_degraded_state(std::uint64_t s) { return s >= 2 && s <= 5; }
+
+// round_drop arg decoding. The packing (message class in the high nibble,
+// refusal reason in the low one) and these names mirror gms/round.hpp
+// RoundMsg / RoundDrop; obs sits below gms in the layering so the tables
+// are duplicated here rather than included.
+const char* round_msg_name(std::uint8_t m) {
+  constexpr const char* kNames[] = {"decision",       "no_decision",
+                                    "reconfiguration", "join",
+                                    "state_transfer",  "rejoin_request"};
+  return m < std::size(kNames) ? kNames[m] : "?";
+}
+
+const char* round_drop_reason_name(std::uint8_t d) {
+  constexpr const char* kNames[] = {"accepted",  "stale",     "future",
+                                    "duplicate", "old_round", "old_epoch",
+                                    "durable_floor", "late"};
+  return d < std::size(kNames) ? kNames[d] : "?";
+}
 
 }  // namespace
 
@@ -75,6 +94,9 @@ TimelineReport analyze_timeline(const std::vector<Event>& merged) {
         break;
       case EvKind::dgram_drop:
         ++report.drops_by_reason[e.arg];
+        break;
+      case EvKind::round_drop:
+        ++report.round_drops[e.arg];
         break;
       case EvKind::suspect:
         last_trigger = e.t_sync();
@@ -222,6 +244,11 @@ std::string format_event(const Event& e) {
     case EvKind::rehabilitated:
       os << " gid=" << e.a << " flushed=" << e.b;
       break;
+    case EvKind::round_drop:
+      os << ' ' << round_msg_name(e.arg >> 4) << '/'
+         << round_drop_reason_name(e.arg & 0x0f) << " epoch=" << e.a
+         << " round=" << e.b;
+      break;
     default:
       if (e.a != 0 || e.b != 0) os << " a=" << e.a << " b=" << e.b;
       break;
@@ -242,6 +269,14 @@ std::string TimelineReport::to_string() const {
     for (const auto& [reason, n] : drops_by_reason)
       os << "  " << drop_reason_name(static_cast<DropReason>(reason)) << ' '
          << n << '\n';
+  }
+  if (!round_drops.empty()) {
+    std::uint64_t total = 0;
+    for (const auto& [arg, n] : round_drops) total += n;
+    os << "== round gate (stale_dropped " << total << ") ==\n";
+    for (const auto& [arg, n] : round_drops)
+      os << "  " << round_msg_name(static_cast<std::uint8_t>(arg >> 4)) << '/'
+         << round_drop_reason_name(arg & 0x0f) << ' ' << n << '\n';
   }
   os << "== views ==\n";
   for (const ViewStat& v : views) {

@@ -101,6 +101,10 @@ struct TimelineReport {
   std::map<std::uint8_t, std::uint64_t> sent_by_kind;
   /// dgram_drop count per DropReason byte.
   std::map<std::uint8_t, std::uint64_t> drops_by_reason;
+  /// round_drop count per packed arg (message class << 4 | refusal reason):
+  /// the per-process gms.stale_dropped counter, broken down by why the
+  /// round gate refused the message.
+  std::map<std::uint8_t, std::uint64_t> round_drops;
   std::uint64_t recv_total = 0;
   std::uint64_t sent_total = 0;
   std::vector<ViewStat> views;  ///< in order of first install

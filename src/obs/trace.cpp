@@ -9,13 +9,13 @@ namespace tw::obs {
 
 namespace {
 
-constexpr std::array<const char*, 22> kEvKindNames = {
+constexpr std::array<const char*, 23> kEvKindNames = {
     "dgram_send",   "dgram_recv",  "dgram_drop",        "timer_arm",
     "timer_fire",   "timer_cancel", "post_wake",        "clock_round",
     "clock_sync_lost", "clock_sync_gained", "bcast_order", "bcast_deliver",
     "fsm_transition", "view_install", "suspect",        "node_start",
     "store_open",   "rejoin_request", "rehabilitated",  "epoch_fence",
-    "oal_quarantined", "rejoin_retry",
+    "oal_quarantined", "rejoin_retry", "round_drop",
 };
 
 constexpr std::array<const char*, 9> kDropReasonNames = {

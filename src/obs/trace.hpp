@@ -83,6 +83,14 @@ enum class EvKind : std::uint8_t {
   epoch_fence = 19,
   oal_quarantined = 20,
   rejoin_retry = 21,
+
+  // Communication-closed round gate (gms/round.hpp): an inbound control
+  // message was refused at the choke point. arg packs the message class in
+  // the high nibble and the RoundDrop reason in the low nibble; a = the
+  // epoch (gid) the message carried (0 when its kind carries none); b = its
+  // send_ts — the round tag. The per-node total is the gms.stale_dropped
+  // counter.
+  round_drop = 22,
 };
 
 /// Why a datagram was dropped at or before the receive path.

@@ -1,0 +1,96 @@
+// Exhaustive small-scope model checking of a communication-closed-rounds
+// window (torture_main --explore).
+//
+// Instead of sampling random fault schedules (engine.hpp), explore mode
+// ENUMERATES them: a bounded window of `rounds` ring rounds is cut into
+// `buckets` choice points per round, and every assignment of the optional
+// transitions — one crash, one partition + heal — to those choice points is
+// materialized as a deterministic FaultPlan and run through the §3
+// invariant oracle. The ambient network is clean (no loss, no duplication,
+// no corruption) and the workload is fixed, so two cases differ ONLY in
+// where the transitions land: the enumeration walks the interleavings of
+// the window, small-scope-hypothesis style, rather than the noise of a
+// seed. A DFS over the per-transition choice domains visits every leaf
+// exactly once; each leaf is one oracle run, each violation a minimized,
+// replayable plan (with round-boundary marks naming the perturbed round).
+//
+// The explored window is tiny by design — 3 processes x 2 rounds is ~700
+// cases and a few seconds of wall clock — so CI can afford full coverage
+// on every change, and a deliberately broken protocol (the occupancy-guard
+// mutation, see NodeConfig::occupancy_guard) must be CAUGHT by it, which
+// keeps the checker itself honest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "torture/engine.hpp"
+#include "torture/fault_plan.hpp"
+
+namespace tw::torture {
+
+/// The bounded window explore mode enumerates. Serializable as an
+/// "explore-window v1" spec file so the CI window is a checked-in artifact.
+struct ExploreWindow {
+  int n = 3;        ///< team size (small scope: 3 is the smallest majority)
+  int rounds = 2;   ///< ring rounds in the window (round = one full cycle)
+  int buckets = 3;  ///< choice points per round
+  std::uint64_t seed = 1;  ///< harness seed shared by every case
+
+  bool crash = true;      ///< include the optional crash transition
+  bool partition = true;  ///< include the optional partition+heal transition
+  /// Include the optional decision-omission transition: one decision
+  /// datagram from a chosen sender to a chosen member is dropped. This is
+  /// the paper's §4 "lost decision message" scenario at bucket granularity
+  /// — and the only transition that forks a lineage WITHOUT an epoch
+  /// change, which is precisely what the occupancy-guard repairs (a
+  /// partition fork is caught by the epoch fence instead).
+  bool drops = false;
+  bool occupancy_guard = true;  ///< NodeConfig::occupancy_guard (mutation)
+
+  sim::SimTime window_start = sim::sec(3);  ///< let the first group form
+  sim::Duration settle = sim::sec(15);      ///< convergence budget
+  sim::Duration quiet_tail = sim::sec(2);   ///< drain before the checks
+
+  /// One round = one full decider rotation of the default-config ring.
+  [[nodiscard]] sim::Duration round_len() const;
+  /// Total leaves of the choice tree (cases a full run executes).
+  [[nodiscard]] int case_count() const;
+};
+
+struct ExploreResult {
+  int cases = 0;       ///< leaves enumerated (== window.case_count())
+  int violations = 0;  ///< leaves whose oracle run failed
+  /// The first few failing runs, full detail (plan + report + trace);
+  /// later failures are only counted so a badly broken protocol cannot
+  /// balloon memory with hundreds of megabyte-sized traces.
+  std::vector<RunResult> failed;
+};
+
+/// Materialize one leaf of the choice tree as a replayable plan.
+/// Each choice is -1 for "transition absent", else an index into that
+/// transition's domain (crash: victim x position; partition: isolated
+/// member x position x heal length; drop: sender x deaf member x
+/// position). Exposed for tests: a violation's plan must round-trip
+/// through plan_to_string/plan_from_string and replay to the same verdict.
+[[nodiscard]] FaultPlan build_explore_case(const ExploreWindow& window,
+                                           int crash_choice, int part_choice,
+                                           int drop_choice);
+
+/// Enumerate every case of the window (DFS over the choice domains) and
+/// run each through the invariant oracle. `progress`, if set, is called
+/// after every case with (done, total). Keeps at most `keep_failures`
+/// failing runs in full detail.
+[[nodiscard]] ExploreResult explore(
+    const ExploreWindow& window,
+    const std::function<void(int, int)>& progress = {},
+    int keep_failures = 4);
+
+/// "explore-window v1" spec dump / parse (unknown keys are errors, missing
+/// keys keep their defaults — same contract as the plan format).
+[[nodiscard]] std::string window_to_string(const ExploreWindow& window);
+bool window_from_string(const std::string& text, ExploreWindow& out);
+
+}  // namespace tw::torture

@@ -424,6 +424,7 @@ gms::HarnessConfig harness_config(const FaultPlan& plan) {
   cfg.delays.loss_prob = plan.cfg.loss_prob;
   cfg.delays.late_prob = plan.cfg.late_prob;
   cfg.node.max_batch = plan.cfg.max_batch;
+  cfg.node.occupancy_guard = plan.cfg.occupancy_guard;
   return cfg;
 }
 
@@ -523,6 +524,12 @@ std::string plan_to_string(const FaultPlan& plan) {
      << "\nfault_end " << c.fault_end << "\nsettle " << c.settle
      << "\nquiet " << c.quiet_tail << "\nrate " << c.workload_rate_hz
      << "\nbatch " << c.max_batch << "\n";
+  // Optional keys, written only off-default so pre-existing dumps (and
+  // their digests) are byte-identical: a disabled occupancy guard marks a
+  // deliberately mutated run, round marks label explore windows.
+  if (!c.occupancy_guard) os << "guard 0\n";
+  for (const RoundMark& r : plan.rounds)
+    os << "round " << r.index << ' ' << r.at << '\n';
   for (const FaultOp& op : plan.ops) {
     os << "op " << fault_type_name(op.type) << ' ' << op.at << ' '
        << static_cast<std::int64_t>(op.p) << ' '
@@ -581,6 +588,17 @@ bool plan_from_string(const std::string& text, FaultPlan& out) {
     } else if (key == "batch") {
       // Optional: dumps from before proposal batching default to 1.
       ls >> plan.cfg.max_batch;
+    } else if (key == "guard") {
+      // Optional: omitted (old dumps included) means the guard is on.
+      int guard = 1;
+      ls >> guard;
+      plan.cfg.occupancy_guard = guard != 0;
+    } else if (key == "round") {
+      // Optional round-boundary marks from explore-generated plans.
+      RoundMark mark;
+      ls >> mark.index >> mark.at;
+      if (ls.fail()) return false;
+      plan.rounds.push_back(mark);
     } else if (key == "op") {
       std::string type_name;
       std::int64_t p = 0;

@@ -108,7 +108,22 @@ struct TortureConfig {
   /// §3 invariants under every fault family.
   int max_batch = 1;
 
+  /// NodeConfig::occupancy_guard for every node: false disables the
+  /// delivery engine's ordinal-occupancy conflict repair (the explore
+  /// mutation test). Serialized only when off, so existing plan dumps are
+  /// unchanged and old dumps parse as guarded.
+  bool occupancy_guard = true;
+
   [[nodiscard]] sim::SimTime deadline() const { return fault_end + settle; }
+};
+
+/// Round boundary of a communication-closed-rounds window (explore mode):
+/// purely descriptive — apply_plan ignores marks, so a marked plan runs
+/// byte-for-byte like its unmarked twin — but a violation dump keeps them
+/// so the repro names the round whose perturbation tripped the oracle.
+struct RoundMark {
+  int index = 0;        ///< 0-based round within the explored window
+  sim::SimTime at = 0;  ///< when the round opens
 };
 
 struct FaultPlan {
@@ -118,6 +133,7 @@ struct FaultPlan {
   /// emitted ahead of later ops); apply_plan schedules each by `op.at`.
   std::vector<FaultOp> ops;
   std::vector<WorkloadOp> workload;    ///< time-ordered
+  std::vector<RoundMark> rounds;       ///< optional (explore-generated plans)
 };
 
 /// Deterministically generate a randomized plan for (cfg, seed).

@@ -169,17 +169,20 @@ OracleReport run_oracle(gms::SimHarness& harness, const FaultPlan& plan) {
       bool busy = false;
       for (ProcessId p = 0; p < n; ++p) {
         const auto& node = harness.node(p);
-        if (node.recovered_dirty() || node.awaiting_state()) busy = true;
+        if (node.recovered_dirty() || node.awaiting_state() ||
+            node.lineage_forked())
+          busy = true;
       }
       if (!busy) break;
       harness.run_for(grace_step);
     }
     for (ProcessId p = 0; p < n; ++p) {
       const auto& node = harness.node(p);
-      if (node.recovered_dirty() || node.awaiting_state()) {
+      if (node.recovered_dirty() || node.awaiting_state() ||
+          node.lineage_forked()) {
         report.violations.push_back(
             "rehabilitation liveness: p" + std::to_string(p) +
-            " still recovered-dirty/awaiting-state after convergence" +
+            " still recovered-dirty/awaiting-state/forked after convergence" +
             " (incarnation " + std::to_string(node.incarnation()) + ")");
       } else if (node.buffered_delivery_count() != 0) {
         report.violations.push_back(

@@ -197,5 +197,30 @@ TEST(Timeline, FormatAndReportAreHumanReadable) {
   EXPECT_NE(text.find("proposal"), std::string::npos);
 }
 
+// The round gate's refusal records (the per-node gms.stale_dropped counter)
+// decode in the dump and aggregate in the summary. arg packs the message
+// class in the high nibble and the refusal reason in the low one (see
+// gms/round.hpp): 0x05 = decision/old_epoch, 0x14 = no_decision/old_round.
+TEST(Timeline, RoundDropsDecodeAndAggregate) {
+  const Event drop = ev(30, 0, 2, EvKind::round_drop, 0x05, 7, 123456);
+  const std::string line = format_event(drop);
+  EXPECT_NE(line.find("round_drop"), std::string::npos);
+  EXPECT_NE(line.find("decision/old_epoch"), std::string::npos);
+  EXPECT_NE(line.find("epoch=7"), std::string::npos);
+  EXPECT_NE(line.find("round=123456"), std::string::npos);
+
+  std::vector<Event> in;
+  in.push_back(drop);
+  in.push_back(ev(31, 0, 2, EvKind::round_drop, 0x05, 7, 123457));
+  in.push_back(ev(32, 0, 1, EvKind::round_drop, 0x14, 0, 123458));
+  const auto report = analyze_timeline(merge_timeline(in));
+  EXPECT_EQ(report.round_drops.at(0x05), 2u);
+  EXPECT_EQ(report.round_drops.at(0x14), 1u);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("stale_dropped 3"), std::string::npos);
+  EXPECT_NE(text.find("decision/old_epoch 2"), std::string::npos);
+  EXPECT_NE(text.find("no_decision/old_round 1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tw::obs

@@ -9,6 +9,8 @@
 //   torture_main --seeds 200              # sweep seeds 1..200
 //   torture_main --seed 7 --print-plan    # show the generated schedule
 //   torture_main --replay fail.plan       # re-run a written plan file
+//   torture_main --explore                # enumerate the default window
+//   torture_main --explore-window W.window   # ... a checked-in window spec
 //
 // Exit status: 0 = all runs passed, 1 = at least one violation, 2 = usage.
 #include <cstdio>
@@ -18,6 +20,7 @@
 #include <string>
 
 #include "torture/engine.hpp"
+#include "torture/explore.hpp"
 
 namespace {
 
@@ -41,6 +44,11 @@ void usage() {
   --out FILE        write failing plans to FILE (default torture_fail.plan)
   --replay FILE     run a plan file written by a previous failure
   --digest-only     print only "seed digest" lines (for diffing runs)
+  --explore         exhaustively enumerate the default bounded window
+                    (3 processes x 2 rounds; crash + partition transitions)
+  --explore-window FILE   enumerate an "explore-window v1" spec file
+  --no-occupancy-guard    disable the delivery occupancy-conflict repair
+                          (mutation check: explore MUST find a violation)
 )");
 }
 
@@ -67,6 +75,8 @@ int main(int argc, char** argv) {
   double duration_sec = 15.0;
   std::string out_file = "torture_fail.plan";
   std::string replay_file;
+  bool do_explore = false, occupancy_guard = true;
+  std::string window_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -127,6 +137,13 @@ int main(int argc, char** argv) {
       out_file = argv[i];
     } else if (arg == "--replay" && next()) {
       replay_file = argv[i];
+    } else if (arg == "--explore") {
+      do_explore = true;
+    } else if (arg == "--explore-window" && next()) {
+      do_explore = true;
+      window_file = argv[i];
+    } else if (arg == "--no-occupancy-guard") {
+      occupancy_guard = false;
     } else {
       usage();
       return 2;
@@ -134,6 +151,7 @@ int main(int argc, char** argv) {
   }
   cfg.fault_end =
       cfg.fault_start + static_cast<tw::sim::Duration>(duration_sec * 1e6);
+  cfg.occupancy_guard = occupancy_guard;
 
   torture::TortureEngine engine(cfg);
 
@@ -168,6 +186,41 @@ int main(int argc, char** argv) {
         "schedule)\n",
         out_file.c_str(), static_cast<unsigned long long>(run.seed));
   };
+
+  if (do_explore) {
+    torture::ExploreWindow window;
+    if (!window_file.empty()) {
+      std::ifstream in(window_file);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", window_file.c_str());
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      if (!torture::window_from_string(text.str(), window)) {
+        std::fprintf(stderr, "cannot parse %s\n", window_file.c_str());
+        return 2;
+      }
+    }
+    // The CLI mutation flag overrides the spec, so one checked-in window
+    // serves both the HEAD run and the guard-mutated run.
+    if (!occupancy_guard) window.occupancy_guard = false;
+    std::printf(
+        "exploring %d processes x %d rounds x %d buckets "
+        "(%d cases, guard %s)\n",
+        window.n, window.rounds, window.buckets, window.case_count(),
+        window.occupancy_guard ? "on" : "OFF");
+    const torture::ExploreResult res = torture::explore(
+        window, [](int done, int total) {
+          if (done % 100 == 0 || done == total)
+            std::printf("  %d/%d cases...\n", done, total);
+        });
+    std::printf("explored %d cases: %d violation%s\n", res.cases,
+                res.violations, res.violations == 1 ? "" : "s");
+    if (res.violations == 0) return 0;
+    report_failure(res.failed.front());
+    return 1;
+  }
 
   if (!replay_file.empty()) {
     std::ifstream in(replay_file);
