@@ -1,0 +1,267 @@
+// Experiment E12 — multi-group runtime scaling, exported as tw-bench-v1
+// JSON for tools/benchdiff.
+//
+// One process team (n=3) hosts G complete timewheel groups on shared
+// endpoints via gms::GroupRuntime, for G ∈ {1, 64, 256, 1024}. Clients
+// offer a FIXED per-group average load with zipf-skewed key popularity:
+// keys route through the consistent-hash ring, so aggregate load scales
+// linearly with G while individual groups run hot or cold. The claim under
+// test is flat per-group cost: aggregate delivered throughput within 15%
+// of linear in G, and the (pooled per-group) delivery-latency p99 within
+// 2x of the 64-group value — co-hosted groups must not interfere.
+//
+// Clocks are perfect (csync sends nothing): at G=1024 the runtime hosts
+// 3072 nodes, and clock-sync chatter would drown the signal G-fold. Only
+// msgs_per_sec is wall-clock; delivered counts and the sim-time latency
+// percentiles are deterministic for a given seed and CI-diffable.
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "gms/runtime_harness.hpp"
+#include "sim/random.hpp"
+#include "util/stats.hpp"
+
+namespace tw::bench {
+namespace {
+
+struct RuntimeKnobs {
+  int n = 3;
+  int groups = 64;
+  /// Average proposals offered per group over the measure window.
+  int updates_per_group = 50;
+  sim::Duration window = sim::sec(2);
+  double zipf_s = 0.9;
+  std::uint64_t seed = 7;
+};
+
+struct RuntimeResult {
+  double delivered = 0;       ///< deterministic (sim)
+  double offered = 0;
+  double refused = 0;
+  double lat_p50_ms = 0;      ///< deterministic (sim-time)
+  double lat_p99_ms = 0;
+  double hot_share = 0;       ///< busiest group's share of routed keys
+  double wall_msgs_per_sec = 0;  ///< host-dependent; CI ignores it
+};
+
+bool run_scale(const RuntimeKnobs& k, BenchRun& out, RuntimeResult& res) {
+  gms::RuntimeHarnessConfig cfg;
+  cfg.n = k.n;
+  cfg.groups = k.groups;
+  cfg.seed = k.seed;
+  cfg.perfect_clocks = true;
+  gms::RuntimeHarness h(cfg);
+  h.start();
+  if (!h.run_until_all_groups(sim::sec(60))) return false;
+
+  // Every proposal is a marker-stamped 8-byte blob; markers index the
+  // bookkeeping below. Keys are zipf-popular over a keyspace that scales
+  // with G (about four keys per group on average), so group load is
+  // skewed but no group is empty for long.
+  const int total = k.updates_per_group * k.groups;
+  const int keyspace = 4 * k.groups;
+  sim::Rng rng(k.seed * 1000003);
+  sim::Zipf zipf(keyspace, k.zipf_s);
+  struct Sent {
+    sim::SimTime at = -1;
+    net::GroupTag tag = 0;
+  };
+  std::vector<Sent> sent(static_cast<std::size_t>(total));
+  auto& sim = h.cluster().simulator();
+  const sim::SimTime start = h.now();
+  const sim::Duration gap =
+      std::max<sim::Duration>(1, k.window / std::max(1, total));
+  std::uint64_t refused = 0;
+  for (int i = 0; i < total; ++i) {
+    // Rank → key via a fixed affine step so hot ranks spread over the ring
+    // instead of clustering in one arc.
+    const auto key =
+        static_cast<std::uint64_t>(zipf.sample(rng)) * 2654435761u;
+    const auto p = static_cast<ProcessId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(k.n) - 1));
+    const sim::SimTime at = start + static_cast<sim::SimTime>(i + 1) * gap;
+    sim.at(at, [&h, &sent, &refused, p, key, i, at] {
+      const auto tag = h.propose_key(p, key, static_cast<std::uint64_t>(i));
+      if (!tag) {
+        ++refused;
+        return;
+      }
+      sent[static_cast<std::size_t>(i)] = {at, *tag};
+    });
+  }
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  h.run_until(start + static_cast<sim::SimTime>(total + 2) * gap);
+  // Drain: every offered update must reach delivery at process 0 (up to a
+  // simulated-time grace, so a backlogged config pays in undelivered).
+  const auto delivered_at_p0 = [&] {
+    std::uint64_t d = 0;
+    for (net::GroupTag g = 0; g < static_cast<net::GroupTag>(k.groups); ++g)
+      d += h.delivered(0, g).size();
+    return d;
+  };
+  for (int spin = 0; spin < 100; ++spin) {
+    if (delivered_at_p0() >= static_cast<std::uint64_t>(total)) break;
+    h.run_for(sim::msec(200));
+  }
+  const double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  // Delivery latency per offered update, measured at process 0 (sim-time:
+  // deterministic). The pooled distribution IS the per-group view — every
+  // sample belongs to exactly one group, so hot-group queuing shows up in
+  // the p99 tail.
+  util::Samples lat;
+  std::uint64_t delivered = 0;
+  for (net::GroupTag g = 0; g < static_cast<net::GroupTag>(k.groups); ++g) {
+    for (const auto& rec : h.delivered(0, g)) {
+      const auto marker = gms::SimHarness::payload_tag(rec.payload);
+      if (marker >= sent.size()) continue;
+      const Sent& s = sent[marker];
+      if (s.at < 0 || s.tag != g) continue;
+      ++delivered;
+      lat.add(static_cast<double>(rec.at - s.at) / 1000.0);  // ms
+    }
+  }
+  if (delivered == 0) return false;
+
+  double hot = 0;
+  std::uint64_t routed_total = 0;
+  for (net::GroupTag g = 0; g < static_cast<net::GroupTag>(k.groups); ++g) {
+    std::uint64_t routed = 0;
+    for (ProcessId p = 0; p < static_cast<ProcessId>(k.n); ++p)
+      routed += h.runtime(p).group_stats(g).routed;
+    routed_total += routed;
+    hot = std::max(hot, static_cast<double>(routed));
+  }
+
+  res.delivered = static_cast<double>(delivered);
+  res.offered = static_cast<double>(total);
+  res.refused = static_cast<double>(refused);
+  res.lat_p50_ms = lat.percentile(0.5);
+  res.lat_p99_ms = lat.percentile(0.99);
+  res.hot_share = routed_total
+                      ? hot / static_cast<double>(routed_total)
+                      : 0.0;
+  res.wall_msgs_per_sec =
+      wall_sec > 0 ? static_cast<double>(delivered) / wall_sec : 0.0;
+
+  out.name = "group_runtime/n" + std::to_string(k.n) + "/g" +
+             std::to_string(k.groups);
+  out.config = {{"n", static_cast<double>(k.n)},
+                {"groups", static_cast<double>(k.groups)},
+                {"updates_per_group", static_cast<double>(k.updates_per_group)},
+                {"keyspace", static_cast<double>(keyspace)},
+                {"zipf_s", k.zipf_s},
+                {"window_ms", static_cast<double>(k.window) / 1000.0},
+                {"seed", static_cast<double>(k.seed)}};
+  out.metrics = {{"delivered", res.delivered},
+                 {"undelivered", res.offered - res.refused - res.delivered},
+                 {"budget_refused", res.refused},
+                 {"latency_ms_p50", res.lat_p50_ms},
+                 {"latency_ms_p99", res.lat_p99_ms},
+                 {"hot_group_share_pct", 100.0 * res.hot_share},
+                 {"msgs_per_sec", res.wall_msgs_per_sec}};
+  std::printf(
+      "%-24s delivered=%6.0f/%-6.0f lat ms: p50=%6.1f p99=%6.1f  "
+      "hot-share=%4.1f%%  wall msgs/s=%9.0f\n",
+      out.name.c_str(), res.delivered, res.offered, res.lat_p50_ms,
+      res.lat_p99_ms, 100.0 * res.hot_share, res.wall_msgs_per_sec);
+  return true;
+}
+
+}  // namespace
+}  // namespace tw::bench
+
+int main(int argc, char** argv) {
+  using namespace tw;
+  using namespace tw::bench;
+  std::string out_path = "BENCH_runtime.json";
+  int updates_per_group = 50;
+  std::uint64_t seed = 7;
+  std::vector<int> group_counts = {1, 64, 256, 1024};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--out" && next()) {
+      out_path = argv[i];
+    } else if (arg == "--updates-per-group" && next()) {
+      updates_per_group = std::atoi(argv[i]);
+    } else if (arg == "--seed" && next()) {
+      seed = std::strtoull(argv[i], nullptr, 10);
+    } else if (arg == "--groups" && next()) {
+      group_counts.clear();
+      for (const char* tok = std::strtok(argv[i], ","); tok;
+           tok = std::strtok(nullptr, ","))
+        group_counts.push_back(std::atoi(tok));
+    } else {
+      std::fprintf(stderr,
+                   "usage: scenario_group_runtime [--out FILE] "
+                   "[--updates-per-group N] [--groups A,B,...] [--seed S]\n");
+      return 2;
+    }
+  }
+  if (updates_per_group <= 0 || group_counts.empty()) return 2;
+
+  std::printf("\n== E12: multi-group runtime scaling ==\n"
+              "fixed per-group load, zipf-skewed keys; latency is sim-time\n");
+  BenchReport report{"group-runtime", {}};
+  std::vector<std::pair<int, RuntimeResult>> results;
+  bool ok = true;
+  for (int g : group_counts) {
+    RuntimeKnobs k;
+    k.groups = g;
+    k.updates_per_group = updates_per_group;
+    k.seed = seed;
+    BenchRun r;
+    RuntimeResult res;
+    if (run_scale(k, r, res)) {
+      report.runs.push_back(std::move(r));
+      results.emplace_back(g, res);
+    } else {
+      std::fprintf(stderr, "run failed for groups=%d\n", g);
+      ok = false;
+    }
+  }
+  if (!report.write_file(out_path)) ok = false;
+
+  // The scaling acceptance gate: against the G=64 anchor, aggregate
+  // delivered throughput must stay within 15% of linear in G, and the
+  // latency p99 within 2x — otherwise co-hosted groups are interfering.
+  const auto anchor = std::find_if(
+      results.begin(), results.end(),
+      [](const auto& r) { return r.first == 64; });
+  if (anchor != results.end()) {
+    for (const auto& [g, res] : results) {
+      if (g <= anchor->first) continue;
+      const double scale = static_cast<double>(g) / anchor->first;
+      const double linear = anchor->second.delivered * scale;
+      const double ratio = res.delivered / linear;
+      const double p99x = res.lat_p99_ms / anchor->second.lat_p99_ms;
+      std::printf("scaling g%d vs g64: delivered=%.1f%% of linear, "
+                  "p99=%.2fx\n", g, 100.0 * ratio, p99x);
+      if (ratio < 0.85) {
+        std::fprintf(stderr, "FAIL: aggregate throughput at g%d fell to "
+                     "%.1f%% of linear (floor 85%%)\n", g, 100.0 * ratio);
+        ok = false;
+      }
+      if (p99x > 2.0) {
+        std::fprintf(stderr, "FAIL: latency p99 at g%d is %.2fx the g64 "
+                     "value (ceiling 2x)\n", g, p99x);
+        ok = false;
+      }
+    }
+  }
+
+  std::printf("\nwrote %s%s\n", out_path.c_str(),
+              ok ? "" : "  (WITH FAILURES)");
+  return ok ? 0 : 1;
+}

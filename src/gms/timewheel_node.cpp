@@ -41,9 +41,9 @@ TimewheelNode::TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg,
   if (obs::Recorder* rec = ep_.obs()) {
     delivery_.set_recorder(rec);
     if (obs::Registry* reg = rec->registry()) {
-      // Snapshots see this node's NodeStats as "gms.p<id>.*" counters.
-      const std::string prefix =
-          "gms.p" + std::to_string(ep_.self()) + '.';
+      // Snapshots see this node's NodeStats as "gms.p<id>.*" counters
+      // ("gms.g<tag>.p<id>.*" under a multi-group runtime endpoint).
+      const std::string prefix = "gms." + ep_.obs_scope() + '.';
       stats_source_ = reg->register_source(
           [this, prefix](std::map<std::string, std::uint64_t>& out) {
             out[prefix + "decisions_sent"] = stats_.decisions_sent;

@@ -1,0 +1,72 @@
+// Group-tag wire framing for the multi-group runtime.
+//
+// When one endpoint hosts many independent timewheel groups
+// (gms::GroupRuntime), outbound frames of every group except group 0 are
+// wrapped as
+//
+//   [u8 MsgKind::group_tag][varint tag][inner payload]
+//
+// and inbound frames are demultiplexed by that tag. Tag 0 is NEVER
+// wrapped: a single group hosted under the runtime puts exactly today's
+// bytes on the wire, so pre-runtime captures, torture plans, and mixed
+// fleets (tagged and legacy senders on one port plan) interoperate without
+// a protocol version bump. Demux treats any frame whose first byte is not
+// MsgKind::group_tag as tag-0 traffic.
+//
+// The wrapper is transport-agnostic: it lives inside the payload both
+// transports already carry (the UDP [crc32c][sender] frame and the
+// simulator's datagram service see it as opaque bytes).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "net/msg_kind.hpp"
+#include "util/buffer_pool.hpp"
+#include "util/bytes.hpp"
+
+namespace tw::net {
+
+/// Identifies one group hosted by a GroupRuntime. Tag 0 is the legacy /
+/// wire-compatible group.
+using GroupTag = std::uint32_t;
+
+/// A demultiplexed inbound frame: which group it belongs to and the inner
+/// payload (a view into the original buffer — no copy).
+struct GroupFrame {
+  GroupTag tag = 0;
+  std::span<const std::byte> payload;
+};
+
+/// Wrap `payload` for group `tag` into a pooled buffer. Must not be called
+/// with tag 0 (tag-0 frames go out unwrapped; see file comment).
+[[nodiscard]] inline std::vector<std::byte> wrap_group_frame(
+    GroupTag tag, std::span<const std::byte> payload) {
+  util::ByteWriter w(util::BufferPool::local());
+  w.u8(kind_byte(MsgKind::group_tag));
+  w.var_u64(tag);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+/// Classify an inbound frame. Frames not starting with
+/// MsgKind::group_tag are legacy traffic and map to tag 0 with the whole
+/// frame as payload. Wrapped frames yield their tag and inner payload;
+/// a truncated wrapper throws util::DecodeError (like every other
+/// malformed message).
+[[nodiscard]] inline GroupFrame decode_group_frame(
+    std::span<const std::byte> frame) {
+  if (frame.empty() ||
+      static_cast<std::uint8_t>(frame[0]) != kind_byte(MsgKind::group_tag))
+    return GroupFrame{0, frame};
+  util::ByteReader r(frame.subspan(1));
+  const std::uint64_t tag = r.var_u64();
+  if (tag > std::numeric_limits<GroupTag>::max())
+    throw util::DecodeError("group tag out of range");
+  return GroupFrame{static_cast<GroupTag>(tag),
+                    frame.subspan(1 + (frame.size() - 1 - r.remaining()))};
+}
+
+}  // namespace tw::net

@@ -28,6 +28,11 @@ enum class MsgKind : std::uint8_t {
   state_request = 20,
   rejoin_request = 21,
 
+  // Multi-group runtime demux wrapper (tw::gms::GroupRuntime): the frame
+  // is [group_tag][varint tag][inner payload]; tag 0 is never wrapped, so
+  // single-group wire traffic stays byte-identical to the legacy format.
+  group_tag = 24,
+
   // Baseline membership protocols (tw::baseline).
   heartbeat = 32,
   view_proposal = 33,
@@ -54,6 +59,7 @@ enum class MsgKind : std::uint8_t {
     case MsgKind::state_transfer: return "state_transfer";
     case MsgKind::state_request: return "state_request";
     case MsgKind::rejoin_request: return "rejoin_request";
+    case MsgKind::group_tag: return "group_tag";
     case MsgKind::heartbeat: return "heartbeat";
     case MsgKind::view_proposal: return "view_proposal";
     case MsgKind::view_ack: return "view_ack";

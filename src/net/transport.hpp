@@ -67,6 +67,14 @@ class Endpoint {
   /// nullptr when the transport has no recorder wired.
   [[nodiscard]] virtual obs::Recorder* obs() { return nullptr; }
 
+  /// Metric-name scope for stacks bound to this endpoint ("p<id>" for a
+  /// plain per-process endpoint). A GroupRuntime's per-group endpoints
+  /// override this ("g<tag>.p<id>") so many groups sharing one process
+  /// register distinct counter names instead of colliding.
+  [[nodiscard]] virtual std::string obs_scope() const {
+    return "p" + std::to_string(self());
+  }
+
   /// Structured tracing; no-op outside the simulator unless overridden.
   virtual void trace(sim::TraceKind kind, std::uint64_t a = 0,
                      std::uint64_t b = 0, util::ProcessSet set = {},

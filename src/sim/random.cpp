@@ -76,6 +76,29 @@ double Rng::exponential(double mean) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Zipf::Zipf(int k, double s) {
+  TW_ASSERT(k >= 1);
+  cdf_.resize(static_cast<std::size_t>(k));
+  double acc = 0.0;
+  for (int r = 1; r <= k; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r), s);
+    cdf_[static_cast<std::size_t>(r - 1)] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+int Zipf::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin()) + 1;
+}
+
+double Zipf::mass(int r) const {
+  TW_ASSERT(r >= 1 && r <= k());
+  const auto i = static_cast<std::size_t>(r - 1);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
 Duration DelayModel::sample(Rng& rng) const {
   if (late_prob > 0.0 && rng.chance(late_prob)) {
     // Performance failure: strictly later than δ.

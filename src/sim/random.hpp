@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/time.hpp"
 #include "util/assert.hpp"
@@ -61,6 +62,26 @@ struct DelayModel {
   [[nodiscard]] Duration sample(Rng& rng) const;
   /// True iff `d` counts as timely under this model's δ.
   [[nodiscard]] bool timely(Duration d) const { return d <= delta; }
+};
+
+/// Zipf(s) sampler over ranks 1..k: P(r) ∝ 1/r^s. Precomputes the CDF
+/// once (O(k) memory) and samples by binary search, so draws are O(log k)
+/// and the stream depends only on (rng state, k, s) — fully reproducible.
+/// Drives the skewed client workloads of the multi-group runtime bench:
+/// rank 1 is the hottest key, the tail is long.
+class Zipf {
+ public:
+  Zipf(int k, double s);
+
+  /// A rank in [1, k], distributed ∝ 1/rank^s.
+  [[nodiscard]] int sample(Rng& rng) const;
+
+  [[nodiscard]] int k() const { return static_cast<int>(cdf_.size()); }
+  /// Probability mass of rank r (diagnostics / analytic checks).
+  [[nodiscard]] double mass(int r) const;
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[i] = P(rank <= i + 1)
 };
 
 }  // namespace tw::sim

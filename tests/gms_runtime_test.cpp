@@ -1,0 +1,380 @@
+// The multi-group runtime: group-tag wire framing, the consistent-hash
+// router, GroupRuntime demux/budgets, single-group wire equivalence with
+// the plain stack, per-group fault isolation, and a multi-group torture
+// smoke under skewed load.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "gms/group_runtime.hpp"
+#include "gms/runtime_harness.hpp"
+#include "gms/sim_harness.hpp"
+#include "net/group_tag.hpp"
+#include "sim/random.hpp"
+#include "util/bytes.hpp"
+
+namespace tw::gms {
+namespace {
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> xs) {
+  std::vector<std::byte> out;
+  for (int x : xs) out.push_back(static_cast<std::byte>(x));
+  return out;
+}
+
+// --- group-tag codec --------------------------------------------------------
+
+TEST(GroupTagCodec, RoundTripAcrossTagWidths) {
+  const auto payload = bytes_of({9, 8, 7, 6, 5});
+  // Tags spanning every varint width a GroupTag can need (1..5 bytes).
+  for (net::GroupTag tag : {1u, 64u, 127u, 128u, 300u, 16383u, 16384u,
+                            1u << 21, 0xffffffffu}) {
+    const auto frame = net::wrap_group_frame(tag, payload);
+    const auto gf = net::decode_group_frame(frame);
+    EXPECT_EQ(gf.tag, tag);
+    ASSERT_EQ(gf.payload.size(), payload.size());
+    EXPECT_TRUE(std::equal(gf.payload.begin(), gf.payload.end(),
+                           payload.begin()));
+  }
+}
+
+TEST(GroupTagCodec, LegacyFramesMapToTagZeroUntouched) {
+  // Any frame NOT starting with the group_tag kind byte is tag-0 traffic
+  // and must come back as-is: the whole frame, zero copies, zero edits.
+  for (int first : {0, 1, 7, 16, 21, 32, 40, 255}) {
+    if (first == static_cast<int>(net::kind_byte(net::MsgKind::group_tag)))
+      continue;
+    const auto frame = bytes_of({first, 1, 2, 3});
+    const auto gf = net::decode_group_frame(frame);
+    EXPECT_EQ(gf.tag, 0u);
+    EXPECT_EQ(gf.payload.data(), frame.data());  // same buffer, not a copy
+    EXPECT_EQ(gf.payload.size(), frame.size());
+  }
+  // Empty frames are legacy too (the node codec rejects them later).
+  const std::vector<std::byte> empty;
+  EXPECT_EQ(net::decode_group_frame(empty).tag, 0u);
+}
+
+TEST(GroupTagCodec, TruncatedWrapperThrowsAtEveryByte) {
+  const auto payload = bytes_of({1, 2, 3, 4});
+  const auto frame = net::wrap_group_frame(300u, payload);  // 2-byte varint
+  // Cutting inside the varint must throw; cutting inside the payload is
+  // legal (shorter payload) — the wrapper itself stays parseable.
+  const std::size_t header = frame.size() - payload.size();
+  for (std::size_t len = 1; len < header; ++len) {
+    EXPECT_THROW((void)net::decode_group_frame(
+                     std::span<const std::byte>(frame.data(), len)),
+                 util::DecodeError)
+        << "len=" << len;
+  }
+  for (std::size_t len = header; len <= frame.size(); ++len) {
+    const auto gf = net::decode_group_frame(
+        std::span<const std::byte>(frame.data(), len));
+    EXPECT_EQ(gf.tag, 300u);
+    EXPECT_EQ(gf.payload.size(), len - header);
+  }
+}
+
+TEST(GroupTagCodec, OversizedTagRejected) {
+  // A varint above 2^32-1 is not a valid GroupTag.
+  util::ByteWriter w;
+  w.u8(net::kind_byte(net::MsgKind::group_tag));
+  w.var_u64(std::uint64_t{1} << 32);
+  w.u8(0);
+  const auto frame = std::move(w).take();
+  EXPECT_THROW((void)net::decode_group_frame(frame), util::DecodeError);
+}
+
+// --- consistent-hash router -------------------------------------------------
+
+TEST(Router, SpreadsKeysRoughlyEvenly) {
+  ConsistentHashRouter r;
+  const int G = 8;
+  for (net::GroupTag t = 0; t < G; ++t) r.add_group(t);
+  std::map<net::GroupTag, int> hits;
+  const int kKeys = 64 * 1024;
+  for (int k = 0; k < kKeys; ++k) ++hits[r.route(static_cast<uint64_t>(k))];
+  double share_sum = 0.0;
+  for (net::GroupTag t = 0; t < G; ++t) {
+    // Every group takes a real bite: within 3x of fair share both ways.
+    EXPECT_GT(hits[t], kKeys / (G * 3)) << "group " << t;
+    EXPECT_LT(hits[t], 3 * kKeys / G) << "group " << t;
+    share_sum += r.ring_share(t);
+  }
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);  // the ring is fully owned
+}
+
+TEST(Router, RemovalOnlyRemapsTheRemovedGroupsKeys) {
+  ConsistentHashRouter r;
+  for (net::GroupTag t = 0; t < 10; ++t) r.add_group(t);
+  const int kKeys = 10000;
+  std::vector<net::GroupTag> before(kKeys);
+  for (int k = 0; k < kKeys; ++k)
+    before[static_cast<std::size_t>(k)] = r.route(static_cast<uint64_t>(k));
+  r.remove_group(7);
+  int remapped = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    const auto now = r.route(static_cast<uint64_t>(k));
+    const auto was = before[static_cast<std::size_t>(k)];
+    if (was == 7) {
+      EXPECT_NE(now, 7u);  // its keys all moved...
+      ++remapped;
+    } else {
+      EXPECT_EQ(now, was) << "key " << k;  // ...and nobody else's did
+    }
+  }
+  EXPECT_GT(remapped, 0);
+  // Re-adding restores the exact original mapping (ring points are pure
+  // functions of the tag).
+  r.add_group(7);
+  for (int k = 0; k < kKeys; ++k)
+    EXPECT_EQ(r.route(static_cast<uint64_t>(k)),
+              before[static_cast<std::size_t>(k)]);
+}
+
+TEST(Router, AddIsIdempotentAndOrderIndependent) {
+  ConsistentHashRouter a, b;
+  for (net::GroupTag t : {3u, 1u, 4u, 1u, 5u, 9u, 2u, 6u}) a.add_group(t);
+  for (net::GroupTag t : {9u, 6u, 5u, 4u, 3u, 2u, 1u}) b.add_group(t);
+  EXPECT_EQ(a.group_count(), 7u);
+  EXPECT_EQ(b.group_count(), 7u);
+  for (std::uint64_t k = 0; k < 4096; ++k)
+    EXPECT_EQ(a.route(k), b.route(k)) << "key " << k;
+}
+
+// --- zipf sampler (drives the runtime bench's skewed workloads) -------------
+
+TEST(Zipf, MassMatchesSampling) {
+  sim::Zipf z(100, 1.0);
+  sim::Rng rng(42);
+  std::vector<int> hits(101, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++hits[static_cast<std::size_t>(
+      z.sample(rng))];
+  // Rank 1 is the hottest and the empirical frequency tracks the mass.
+  EXPECT_GT(hits[1], hits[2]);
+  EXPECT_GT(hits[2], hits[10]);
+  for (int r : {1, 2, 5, 50}) {
+    const double emp =
+        static_cast<double>(hits[static_cast<std::size_t>(r)]) / kDraws;
+    EXPECT_NEAR(emp, z.mass(r), 0.01) << "rank " << r;
+  }
+}
+
+// --- GroupRuntime in the simulator -----------------------------------------
+
+RuntimeHarnessConfig rt_cfg(int n, int groups, std::uint64_t seed) {
+  RuntimeHarnessConfig cfg;
+  cfg.n = n;
+  cfg.groups = groups;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(GroupRuntime, AllGroupsFormAndDeliver) {
+  RuntimeHarness h(rt_cfg(3, 4, 1));
+  h.start();
+  ASSERT_TRUE(h.run_until_all_groups(sim::sec(20)));
+  for (net::GroupTag t = 0; t < 4; ++t)
+    for (ProcessId p = 0; p < 3; ++p) EXPECT_TRUE(h.propose(p, t, 100u * t + p));
+  h.run_for(sim::sec(2));
+  for (net::GroupTag t = 0; t < 4; ++t)
+    for (ProcessId p = 0; p < 3; ++p)
+      EXPECT_GE(h.delivered(p, t).size(), 3u) << "g" << t << " p" << p;
+  EXPECT_TRUE(h.check_all_groups().empty());
+  // Demux accounting: tag-0 is the only legacy traffic, nothing unknown.
+  const GroupRuntime& rt = h.runtime(0);
+  EXPECT_GT(rt.demux_total(), 0u);
+  EXPECT_EQ(rt.demux_unknown(), 0u);
+  EXPECT_EQ(rt.demux_malformed(), 0u);
+  EXPECT_EQ(rt.demux_legacy(), rt.group_stats(0).rx);
+  // Per-group runtime metrics land in the cluster snapshot.
+  const auto snap = h.metrics();
+  EXPECT_EQ(snap.value("runtime.groups"), 4u * 3u / 3u)  // per-process source
+      << snap.to_string();
+  EXPECT_GT(snap.sum_prefix("runtime.g2."), 0u);
+  EXPECT_GT(snap.sum_prefix("gms.g1."), 0u);  // per-group node stats scope
+}
+
+TEST(GroupRuntime, KeyedProposalsFollowTheRouterEverywhere) {
+  RuntimeHarness h(rt_cfg(3, 8, 7));
+  h.start();
+  ASSERT_TRUE(h.run_until_all_groups(sim::sec(30)));
+  // The same key routes to the same group from every process.
+  std::set<net::GroupTag> used;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    const auto g0 = h.runtime(0).route(key);
+    for (ProcessId p = 1; p < 3; ++p) EXPECT_EQ(h.runtime(p).route(key), g0);
+    used.insert(g0);
+    ASSERT_EQ(h.propose_key(static_cast<ProcessId>(key % 3), key, key), g0);
+  }
+  EXPECT_GT(used.size(), 3u);  // 64 keys touch well more than a few groups
+  h.run_for(sim::sec(2));
+  EXPECT_TRUE(h.check_all_groups().empty());
+  // routed counters account for every keyed proposal.
+  std::uint64_t routed = 0;
+  for (ProcessId p = 0; p < 3; ++p)
+    for (net::GroupTag t = 0; t < 8; ++t)
+      routed += h.runtime(p).group_stats(t).routed;
+  EXPECT_EQ(routed, 64u);
+}
+
+TEST(GroupRuntime, BudgetRefusesThenRecoversOnDelivery) {
+  RuntimeHarnessConfig cfg = rt_cfg(3, 2, 3);
+  cfg.group_budget_bytes = 16;  // two 8-byte markers in flight max
+  RuntimeHarness h(cfg);
+  h.start();
+  ASSERT_TRUE(h.run_until_all_groups(sim::sec(20)));
+  EXPECT_TRUE(h.propose(0, 1, 1));
+  EXPECT_TRUE(h.propose(0, 1, 2));
+  EXPECT_FALSE(h.propose(0, 1, 3));  // over budget: refused, not queued
+  EXPECT_EQ(h.runtime(0).group_stats(1).budget_refused, 1u);
+  // The sibling group's budget is its own; process and pool stay healthy.
+  EXPECT_TRUE(h.propose(0, 0, 4));
+  h.run_for(sim::sec(2));
+  // Deliveries credited the budget back; the group accepts again.
+  EXPECT_EQ(h.runtime(0).group_stats(1).budget_used, 0u);
+  EXPECT_TRUE(h.propose(0, 1, 5));
+  h.run_for(sim::sec(2));
+  EXPECT_TRUE(h.check_all_groups().empty());
+}
+
+TEST(GroupRuntime, PerGroupPartitionLeavesSiblingsUntouched) {
+  RuntimeHarness h(rt_cfg(3, 4, 11));
+  h.start();
+  ASSERT_TRUE(h.run_until_all_groups(sim::sec(20)));
+  // Deafen group 2 at process 0: that group must exclude p0 (its FD sees
+  // silence) while every sibling group keeps all three members working.
+  h.runtime(0).set_inbound_drop(2, true);
+  h.run_for(sim::sec(5));
+  const auto before = h.total_delivered();
+  for (ProcessId p = 1; p < 3; ++p)
+    for (net::GroupTag t = 0; t < 4; ++t)
+      if (t != 2) {
+        EXPECT_TRUE(h.propose(p, t, 1000u * t + p));
+      }
+  EXPECT_TRUE(h.propose(1, 2, 42));  // the deafened group still has 2/3
+  h.run_for(sim::sec(3));
+  EXPECT_GT(h.total_delivered(), before);
+  EXPECT_GT(h.runtime(0).group_stats(2).rx_dropped, 0u);
+  for (net::GroupTag t = 0; t < 4; ++t) {
+    if (t == 2) continue;
+    for (ProcessId p = 0; p < 3; ++p) {
+      EXPECT_TRUE(h.node(p, t).in_group()) << "g" << t << " p" << p;
+      EXPECT_EQ(h.node(p, t).group(), util::ProcessSet::full(3));
+    }
+  }
+  // Group 2 converged on {p1, p2} at the surviving members.
+  for (ProcessId p = 1; p < 3; ++p) {
+    EXPECT_TRUE(h.node(p, 2).in_group()) << "p" << p;
+    EXPECT_FALSE(h.node(p, 2).group().contains(0));
+  }
+  EXPECT_TRUE(h.check_all_groups().empty());
+  // Heal: p0 hears group 2 again and rejoins it.
+  h.runtime(0).set_inbound_drop(2, false);
+  ASSERT_TRUE(h.run_until_all_groups(sim::sec(40)));
+  EXPECT_TRUE(h.check_all_groups().empty());
+}
+
+TEST(GroupRuntime, ProcessCrashHitsEveryGroupAndRecoveryRejoinsAll) {
+  RuntimeHarness h(rt_cfg(3, 4, 13));
+  h.start();
+  ASSERT_TRUE(h.run_until_all_groups(sim::sec(20)));
+  const sim::SimTime t = h.now();
+  h.faults().crash_at(t + sim::msec(50), 2).recover_at(t + sim::sec(4), 2);
+  h.run_for(sim::sec(2));
+  // Co-hosting semantics: one process crash is a member crash everywhere.
+  for (net::GroupTag g = 0; g < 4; ++g)
+    for (ProcessId p = 0; p < 2; ++p) {
+      EXPECT_TRUE(h.node(p, g).in_group()) << "g" << g << " p" << p;
+      EXPECT_FALSE(h.node(p, g).group().contains(2)) << "g" << g << " p" << p;
+    }
+  ASSERT_TRUE(h.run_until_all_groups(h.now() + sim::sec(40)));
+  EXPECT_TRUE(h.check_all_groups().empty());
+}
+
+TEST(GroupRuntime, MultiGroupTortureSmoke) {
+  // 8 groups × 3 processes under zipf-keyed load with a crash/recover in
+  // the middle: every group's app-level safety must hold.
+  RuntimeHarness h(rt_cfg(3, 8, 99));
+  h.start();
+  ASSERT_TRUE(h.run_until_all_groups(sim::sec(30)));
+  sim::Rng rng(99);
+  sim::Zipf zipf(256, 1.1);
+  const sim::SimTime t = h.now();
+  h.faults().crash_at(t + sim::msec(400), 1).recover_at(t + sim::sec(3), 1);
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 20; ++i) {
+      const auto key = static_cast<std::uint64_t>(zipf.sample(rng));
+      const auto p = static_cast<ProcessId>(rng.uniform_int(0, 2));
+      if (!h.cluster().processes().is_up(p)) continue;
+      h.propose_key(p, key, key * 1000 + static_cast<std::uint64_t>(i));
+    }
+    h.run_for(sim::msec(300));
+  }
+  ASSERT_TRUE(h.run_until_all_groups(h.now() + sim::sec(40)));
+  h.run_for(sim::sec(2));
+  EXPECT_GT(h.total_delivered(), 100u);
+  EXPECT_TRUE(h.check_all_groups().empty());
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(h.runtime(p).demux_unknown(), 0u);
+    EXPECT_EQ(h.runtime(p).demux_malformed(), 0u);
+  }
+}
+
+// --- single-group equivalence (the DESIGN.md §3e argument, executed) --------
+
+TEST(GroupRuntime, SingleGroupTagZeroMatchesPlainStack) {
+  // The same seed drives (a) the plain SimHarness stack and (b) a
+  // GroupRuntime hosting ONE tag-0 group. Tag-0 frames are unwrapped, the
+  // runtime adds no timers and draws no randomness, so the two simulations
+  // must produce identical delivery and view histories.
+  const std::uint64_t seed = 2026;
+  const int n = 3;
+
+  HarnessConfig pc;
+  pc.n = n;
+  pc.seed = seed;
+  pc.durable_store = false;  // runtime groups are volatile too
+  SimHarness plain(pc);
+  plain.start();
+  ASSERT_TRUE(plain.run_until_group(util::ProcessSet::full(n), sim::sec(10)));
+  for (ProcessId p = 0; p < n; ++p) plain.propose(p, 500u + p);
+  plain.run_for(sim::sec(3));
+
+  RuntimeHarness rt(rt_cfg(n, 1, seed));
+  rt.start();
+  ASSERT_TRUE(rt.run_until_all_groups(sim::sec(10)));
+  for (ProcessId p = 0; p < n; ++p) rt.propose(p, 0, 500u + p);
+  rt.run_for(sim::sec(3));
+
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto& a = plain.delivered(p);
+    const auto& b = rt.delivered(p, 0);
+    ASSERT_EQ(a.size(), b.size()) << "p" << p;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].pid, b[i].pid) << "p" << p << " i" << i;
+      EXPECT_EQ(a[i].ordinal, b[i].ordinal) << "p" << p << " i" << i;
+      EXPECT_EQ(a[i].at, b[i].at) << "p" << p << " i" << i;
+      EXPECT_EQ(a[i].payload, b[i].payload) << "p" << p << " i" << i;
+    }
+    const auto& va = plain.views(p);
+    const auto& vb = rt.views(p, 0);
+    ASSERT_EQ(va.size(), vb.size()) << "p" << p;
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      EXPECT_EQ(va[i].gid, vb[i].gid) << "p" << p << " i" << i;
+      EXPECT_TRUE(va[i].members == vb[i].members) << "p" << p << " i" << i;
+      EXPECT_EQ(va[i].at, vb[i].at) << "p" << p << " i" << i;
+    }
+  }
+  // And every inbound frame took the legacy (unwrapped) path.
+  for (ProcessId p = 0; p < n; ++p) {
+    EXPECT_EQ(rt.runtime(p).demux_legacy(), rt.runtime(p).demux_total());
+    EXPECT_EQ(rt.runtime(p).demux_malformed(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tw::gms
