@@ -590,4 +590,13 @@ std::size_t DeliveryEngine::buffered_proposals() const {
   return n;
 }
 
+std::size_t DeliveryEngine::own_outstanding() const {
+  std::size_t n = 0;
+  for (const auto& [pid, s] : slots_)
+    if (pid.proposer == self_ && s.have && !s.delivered &&
+        !s.oal_undeliverable)
+      ++n;
+  return n;
+}
+
 }  // namespace tw::bcast

@@ -177,6 +177,9 @@ class DeliveryEngine {
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_n_; }
   [[nodiscard]] Ordinal stream_cursor() const { return cursor_; }
   [[nodiscard]] std::size_t buffered_proposals() const;
+  /// Own proposals admitted but not yet delivered (nor marked
+  /// undeliverable) — the member-side half of the admission occupancy.
+  [[nodiscard]] std::size_t own_outstanding() const;
 
  private:
   struct Slot {

@@ -1,6 +1,7 @@
 // Timing parameters of the timewheel protocol stack.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "clocksync/clock_sync.hpp"
@@ -70,6 +71,27 @@ struct NodeConfig {
   double fd_beta = 0.25;
   double fd_margin_k = 4.0;
   int fd_warmup = 8;
+  /// Admission control: maximum own proposals in flight (queued while not
+  /// a member + admitted-but-undelivered while a member). 0 = unbounded
+  /// (the legacy behavior). When bounded, try_propose() REFUSES — never
+  /// sheds — excess proposals: an admitted proposal has a sequence number
+  /// other members use for FIFO/fifo_floor gap detection, so dropping one
+  /// after admission would wedge every successor behind a hole. Refusal
+  /// before a sequence number is assigned is invisible to the protocol.
+  int max_pending = 0;
+  /// Occupancy watermarks of the overload state machine, as percentages of
+  /// max_pending. Crossing hi enters `backpressured`; reaching max_pending
+  /// enters `shedding` (try_propose refuses); draining to hi leaves
+  /// shedding; draining to lo returns to `normal`. The hi/lo gap is the
+  /// hysteresis band that stops the state from flapping at a boundary.
+  int overload_hi_pct = 75;
+  int overload_lo_pct = 50;
+  /// Bound on deliveries buffered while awaiting a state-transfer baseline
+  /// (recovered_dirty / re-baseline). Oldest-first shedding is safe HERE —
+  /// unlike pending proposals — because the incoming baseline supersedes
+  /// old deliveries wholesale; sheds are counted in gms.rebaseline_shed.
+  /// 0 = unbounded.
+  std::size_t max_buffered_deliveries = 4096;
   /// Mutation switch for model checking (torture --explore): false disables
   /// the delivery engine's ordinal-occupancy conflict repair, reintroducing
   /// the within-epoch lineage fork the guard exists to catch. Production

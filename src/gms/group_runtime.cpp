@@ -87,6 +87,7 @@ GroupRuntime::GroupRuntime(net::Endpoint& endpoint, GroupRuntimeConfig cfg)
               out[p + "tx"] = g->stats.tx;
               out[p + "routed"] = g->stats.routed;
               out[p + "budget_refused"] = g->stats.budget_refused;
+              out[p + "admission_refused"] = g->stats.admission_refused;
               out[p + "budget_used_bytes"] = g->stats.budget_used;
               out[p + "rx_dropped"] = g->stats.rx_dropped;
             }
@@ -172,8 +173,16 @@ std::optional<ProposalSeq> GroupRuntime::propose(net::GroupTag tag,
     ++g.stats.budget_refused;
     return std::nullopt;
   }
+  // The node's own admission control (NodeConfig::max_pending) can refuse
+  // too; only a *accepted* proposal charges the group budget.
+  const ProposeResult r = g.node->try_propose(std::move(payload), order,
+                                              atomicity);
+  if (!r.accepted) {
+    ++g.stats.admission_refused;
+    return std::nullopt;
+  }
   g.stats.budget_used += sz;
-  return g.node->propose(std::move(payload), order, atomicity);
+  return r.seq;
 }
 
 std::optional<std::pair<net::GroupTag, ProposalSeq>>

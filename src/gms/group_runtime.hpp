@@ -93,6 +93,7 @@ class GroupRuntime final : public net::Handler {
     std::uint64_t tx = 0;              ///< outbound frames it sent
     std::uint64_t routed = 0;          ///< keys the router sent its way
     std::uint64_t budget_refused = 0;  ///< proposals refused over budget
+    std::uint64_t admission_refused = 0;  ///< refused by node admission
     std::uint64_t rx_dropped = 0;      ///< inbound dropped by a test filter
     std::size_t budget_used = 0;       ///< admitted-undelivered bytes
   };

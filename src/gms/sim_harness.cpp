@@ -185,6 +185,14 @@ void SimHarness::propose(ProcessId p, std::uint64_t tag, bcast::Order order,
   nodes_.at(p)->propose(std::move(w).take(), order, atomicity);
 }
 
+ProposeResult SimHarness::try_propose(ProcessId p, std::uint64_t tag,
+                                      bcast::Order order,
+                                      bcast::Atomicity atomicity) {
+  util::ByteWriter w;
+  w.u64(tag);
+  return nodes_.at(p)->try_propose(std::move(w).take(), order, atomicity);
+}
+
 std::uint64_t SimHarness::payload_tag(const std::vector<std::byte>& payload) {
   if (payload.size() < 8) return 0;
   util::ByteReader r(payload);

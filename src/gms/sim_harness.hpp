@@ -129,6 +129,13 @@ class SimHarness {
                bcast::Order order = bcast::Order::total,
                bcast::Atomicity atomicity = bcast::Atomicity::weak);
 
+  /// Like propose() but surfaces the node's admission verdict (refusal
+  /// with retry hint when NodeConfig::max_pending saturates).
+  ProposeResult try_propose(ProcessId p, std::uint64_t tag,
+                            bcast::Order order = bcast::Order::total,
+                            bcast::Atomicity atomicity =
+                                bcast::Atomicity::weak);
+
   static std::uint64_t payload_tag(const std::vector<std::byte>& payload);
 
   // --- invariant checkers (return error strings; empty = OK) ------------

@@ -68,6 +68,18 @@ TimewheelNode::TimewheelNode(net::Endpoint& endpoint, NodeConfig cfg,
             out[prefix + "proposal_batches_sent"] =
                 stats_.proposal_batches_sent;
             out[prefix + "stale_dropped"] = stats_.stale_dropped;
+            out[prefix + "rebaseline_shed"] = stats_.rebaseline_shed;
+            out[prefix + "repair_backoffs"] = stats_.repair_backoffs;
+            out[prefix + "resends_suppressed"] = stats_.resends_suppressed;
+            // Overload gauges/counters (gms.<scope>.overload.*): the
+            // ladder rung plus the admission pressure behind it.
+            out[prefix + "overload.state"] =
+                static_cast<std::uint64_t>(overload_);
+            out[prefix + "overload.occupancy"] = own_inflight_;
+            out[prefix + "overload.occupancy_peak"] = stats_.occupancy_peak;
+            out[prefix + "overload.refused"] = stats_.proposals_refused;
+            out[prefix + "overload.enters"] = stats_.overload_enters;
+            out[prefix + "overload.exits"] = stats_.overload_exits;
             if (store_)
               out[prefix + "store_sync_failures"] = store_->sync_failures();
           });
@@ -131,6 +143,12 @@ void TimewheelNode::full_reset() {
   buffered_deliveries_.clear();
   n_failure_since_ = -1;
   retransmit_hint_ = kNoProcess;
+  overload_ = OverloadState::normal;
+  own_inflight_ = 0;
+  retransmit_attempts_ = 0;
+  last_missing_count_ = 0;
+  suspect_resends_ = 0;
+  last_suspect_resend_ = -1;
 
   last_rejoin_ts_ = -1;
   rejoin_target_ = kNoProcess;
@@ -214,7 +232,13 @@ void TimewheelNode::on_start() {
 
 void TimewheelNode::set_state(GcState next) {
   if (next == state_) return;
-  if (next == GcState::wrong_suspicion) ++stats_.wrong_suspicions;
+  if (next == GcState::wrong_suspicion) {
+    ++stats_.wrong_suspicions;
+    // A fresh wrong-suspicion episode: the control-resend budget restarts
+    // (repeat entries into the SAME episode are no-ops above).
+    suspect_resends_ = 0;
+    last_suspect_resend_ = -1;
+  }
   trace_state_change(state_, next);
   state_ = next;
 }
@@ -326,6 +350,14 @@ void TimewheelNode::on_housekeeping() {
       ep_.set_timer_after(cfg_.slot_len(), [this] { on_housekeeping(); });
   const auto now = sync_now();
   if (!now) return;
+  // Admission-occupancy resync: purges, undeliverable marks and view
+  // changes retire own proposals without passing through deliver_to_app,
+  // so the incremental count can drift high and pin the node in a
+  // degraded state. Ground truth is cheap to recount once per slot.
+  if (cfg_.max_pending > 0) {
+    own_inflight_ = pending_proposals_.size() + delivery_.own_outstanding();
+    update_overload();
+  }
   // Compact the durable log once it has grown past a checkpoint's worth of
   // records — replay time and disk stay bounded without an fsync per event.
   if (store_ && store_->log_records_since_checkpoint() > 128)
@@ -1023,6 +1055,28 @@ void TimewheelNode::handle_rejoin_request(ProcessId from, RejoinRequest rq) {
 ProposalSeq TimewheelNode::propose(std::vector<std::byte> payload,
                                    bcast::Order order,
                                    bcast::Atomicity atomicity) {
+  return try_propose(std::move(payload), order, atomicity).seq;
+}
+
+ProposeResult TimewheelNode::try_propose(std::vector<std::byte> payload,
+                                         bcast::Order order,
+                                         bcast::Atomicity atomicity) {
+  if (cfg_.max_pending > 0) {
+    update_overload();
+    if (overload_ == OverloadState::shedding) {
+      // Refusal consumes no sequence number and touches no durable state:
+      // the proposal never existed as far as FIFO gap detection goes.
+      ++stats_.proposals_refused;
+      ProposeResult r;
+      // Retry hint: about the time a full pipeline takes to drain (one
+      // cycle), jittered per process/attempt so a refused team doesn't
+      // come back in lockstep.
+      r.retry_after_us = static_cast<std::uint64_t>(
+          slots_.cycle_len() +
+          retry_jitter(static_cast<int>(stats_.proposals_refused)));
+      return r;
+    }
+  }
   // Durable continuity: make sure the reservation watermark covers this id
   // BEFORE the proposal exists anywhere (chunked, so only every 64th
   // proposal pays a log append).
@@ -1053,7 +1107,11 @@ ProposalSeq TimewheelNode::propose(std::vector<std::byte> payload,
   } else {
     pending_proposals_.push_back(std::move(p));
   }
-  return static_cast<ProposalSeq>(next_seq_ - 1);
+  ++own_inflight_;
+  if (own_inflight_ > stats_.occupancy_peak)
+    stats_.occupancy_peak = own_inflight_;
+  update_overload();
+  return ProposeResult{true, static_cast<ProposalSeq>(next_seq_ - 1), 0};
 }
 
 void TimewheelNode::flush_pending_proposals(sim::ClockTime now) {
@@ -1164,13 +1222,24 @@ void TimewheelNode::request_missing(sim::ClockTime now, ProcessId hint) {
   retransmit_hint_ = hint;
   if (delivery_.missing().empty()) {
     cancel_timer(retransmit_timer_);
+    retransmit_attempts_ = 0;
+    last_missing_count_ = 0;
     return;
   }
   if (retransmit_timer_ != net::kNoTimer) return;  // already scheduled
   retransmit_timer_ = ep_.set_timer_after(cfg_.delta, [this] {
     retransmit_timer_ = net::kNoTimer;
     const auto missing = delivery_.missing();
-    if (missing.empty()) return;
+    if (missing.empty()) {
+      retransmit_attempts_ = 0;
+      last_missing_count_ = 0;
+      return;
+    }
+    // Progress resets the retry ladder: a shrinking missing set means
+    // retransmissions are landing and the peer deserves a prompt next ask.
+    if (last_missing_count_ != 0 && missing.size() < last_missing_count_)
+      retransmit_attempts_ = 0;
+    last_missing_count_ = missing.size();
     ++stats_.retransmit_requests_sent;
     bcast::RetransmitRequest rq;
     rq.wanted = missing;
@@ -1180,8 +1249,17 @@ void TimewheelNode::request_missing(sim::ClockTime now, ProcessId hint) {
       target = group_.successor_of(self());
     if (target != kNoProcess && target != self())
       ep_.send(target, rq.encode());
-    // Back off and retry while something is still missing.
-    retransmit_timer_ = ep_.set_timer_after(2 * cfg_.delta, [this] {
+    // Retry while something is still missing, backing off exponentially
+    // (2δ, 4δ, 8δ, capped) with per-process jitter: under overload the
+    // repair traffic itself must not become a storm that sustains the
+    // loss it is trying to repair.
+    const int shift = std::min(retransmit_attempts_, 2);
+    ++retransmit_attempts_;
+    if (shift > 0) ++stats_.repair_backoffs;
+    const sim::Duration gap = (2 * cfg_.delta) << shift;
+    const sim::Duration jit =
+        retry_jitter(retransmit_attempts_) % (cfg_.delta + 1);
+    retransmit_timer_ = ep_.set_timer_after(gap + jit, [this] {
       retransmit_timer_ = net::kNoTimer;
       const auto t = sync_now();
       if (t) request_missing(*t, kNoProcess);
@@ -1217,6 +1295,29 @@ void TimewheelNode::send_no_decision(sim::ClockTime now) {
   ep_.broadcast(std::move(bytes));
 }
 
+void TimewheelNode::resend_last_control(sim::ClockTime now) {
+  if (last_control_sent_.empty()) return;
+  // The paper resends after EVERY no-decision receipt; under duplication
+  // or a suspicion storm that turns one lost control message into n
+  // broadcast bursts per ring lap. Budget: the first resend of an episode
+  // is immediate (the paper's behavior in the healthy case — ring hops
+  // arrive at slot pace, far above the minimum gap), later ones must be
+  // spaced by an exponentially growing, jittered minimum gap.
+  if (suspect_resends_ > 0) {
+    const int shift = std::min(suspect_resends_ - 1, 3);
+    const sim::Duration gap =
+        (cfg_.delta << shift) +
+        retry_jitter(suspect_resends_) % (cfg_.delta / 2 + 1);
+    if (last_suspect_resend_ >= 0 && now - last_suspect_resend_ < gap) {
+      ++stats_.resends_suppressed;
+      return;
+    }
+  }
+  last_suspect_resend_ = now;
+  ++suspect_resends_;
+  ep_.broadcast(last_control_sent_);
+}
+
 void TimewheelNode::handle_no_decision(ProcessId from, NoDecision nd) {
   const auto now_opt = sync_now();
   if (!now_opt) return;
@@ -1240,10 +1341,11 @@ void TimewheelNode::handle_no_decision(ProcessId from, NoDecision nd) {
         // knowledge is no fresher than the suspecter's must never take the
         // decider role from stale state.
         set_state(GcState::wrong_suspicion);
-        if (suspect_ == self() && !last_control_sent_.empty()) {
+        if (suspect_ == self()) {
           // "If p itself is suspected, it resends its last control message
-          // after the receipt of each no-decision message."
-          ep_.broadcast(last_control_sent_);
+          // after the receipt of each no-decision message" — rate-limited
+          // (set_state above reset the episode's budget).
+          resend_last_control(now);
         }
         expect_next(succ_active(from), nd.send_ts);
         // The ND ring may already have reached our predecessor.
@@ -1273,8 +1375,7 @@ void TimewheelNode::handle_no_decision(ProcessId from, NoDecision nd) {
         enter_n_failure(now);  // conflicting suspicions: multiple failures
         return;
       }
-      if (suspect_ == self() && !last_control_sent_.empty())
-        ep_.broadcast(last_control_sent_);
+      if (suspect_ == self()) resend_last_control(now);
       if (from == pred_active(self()) && suspect_ != self()) {
         become_decider_wrong_suspicion(now);
       } else {
@@ -1999,6 +2100,71 @@ sim::Duration TimewheelNode::retry_jitter(int attempt) const {
   return span == 0 ? 0 : static_cast<sim::Duration>(z % span);
 }
 
+std::size_t TimewheelNode::overload_hi_mark() const {
+  const auto cap = static_cast<std::size_t>(cfg_.max_pending);
+  return std::max<std::size_t>(
+      1, cap * static_cast<std::size_t>(cfg_.overload_hi_pct) / 100);
+}
+
+std::size_t TimewheelNode::overload_lo_mark() const {
+  const auto cap = static_cast<std::size_t>(cfg_.max_pending);
+  return cap * static_cast<std::size_t>(cfg_.overload_lo_pct) / 100;
+}
+
+void TimewheelNode::update_overload() {
+  if (cfg_.max_pending <= 0) return;
+  const auto cap = static_cast<std::size_t>(cfg_.max_pending);
+  const std::size_t hi = overload_hi_mark();
+  const std::size_t lo = overload_lo_mark();
+  const std::size_t occ = own_inflight_;
+  // Stepwise ladder with a hysteresis band: escalation triggers at hi/cap,
+  // recovery waits for lo (< hi), so occupancy oscillating around one
+  // boundary can't flap the state.
+  OverloadState next = overload_;
+  std::size_t mark = 0;
+  switch (overload_) {
+    case OverloadState::normal:
+      if (occ >= cap) {
+        next = OverloadState::shedding;
+        mark = cap;
+      } else if (occ >= hi) {
+        next = OverloadState::backpressured;
+        mark = hi;
+      }
+      break;
+    case OverloadState::backpressured:
+      if (occ >= cap) {
+        next = OverloadState::shedding;
+        mark = cap;
+      } else if (occ <= lo) {
+        next = OverloadState::normal;
+        mark = lo;
+      }
+      break;
+    case OverloadState::shedding:
+      if (occ <= lo) {
+        next = OverloadState::normal;
+        mark = lo;
+      } else if (occ < hi) {
+        next = OverloadState::backpressured;
+        mark = hi;
+      }
+      break;
+  }
+  if (next == overload_) return;
+  const bool escalating =
+      static_cast<int>(next) > static_cast<int>(overload_);
+  overload_ = next;
+  if (escalating)
+    ++stats_.overload_enters;
+  else
+    ++stats_.overload_exits;
+  if (auto* rec = ep_.obs())
+    rec->emit(escalating ? obs::EvKind::overload_enter
+                         : obs::EvKind::overload_exit,
+              static_cast<std::uint8_t>(next), occ, mark);
+}
+
 void TimewheelNode::deliver_to_app(const bcast::Proposal& p,
                                    Ordinal ordinal) {
   ep_.trace(TraceKind::delivered, ordinal, p.id.proposer,
@@ -2009,7 +2175,21 @@ void TimewheelNode::deliver_to_app(const bcast::Proposal& p,
                << (ordinal == kNoOrdinal ? -1
                                          : static_cast<long long>(ordinal))
                << (awaiting_state_ || recovered_dirty_ ? " (buffered)" : ""));
+  if (p.id.proposer == self() && own_inflight_ > 0) {
+    // An own proposal cleared the pipeline: credit the admission budget.
+    --own_inflight_;
+    update_overload();
+  }
   if (awaiting_state_ || recovered_dirty_) {
+    if (cfg_.max_buffered_deliveries > 0 &&
+        buffered_deliveries_.size() >= cfg_.max_buffered_deliveries) {
+      // Shed the OLDEST buffered delivery: the state transfer this buffer
+      // is waiting for supersedes old deliveries first (its baseline
+      // covers everything up to the donor's watermark), so the oldest
+      // entry is the least likely to ever be replayed from here.
+      buffered_deliveries_.erase(buffered_deliveries_.begin());
+      ++stats_.rebaseline_shed;
+    }
     buffered_deliveries_.emplace_back(p, ordinal);
     return;
   }

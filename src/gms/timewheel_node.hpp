@@ -64,6 +64,32 @@ struct NodeStats {
   std::uint64_t rehabilitations = 0;        ///< recoveries re-baselined
   std::uint64_t proposal_batches_sent = 0;  ///< multi-proposal datagrams
   std::uint64_t stale_dropped = 0;          ///< round-gate refusals
+  std::uint64_t proposals_refused = 0;      ///< admission-control refusals
+  std::uint64_t overload_enters = 0;        ///< watermark escalations
+  std::uint64_t overload_exits = 0;         ///< watermark recoveries
+  std::uint64_t occupancy_peak = 0;         ///< high-water own in-flight
+  std::uint64_t rebaseline_shed = 0;        ///< buffered deliveries shed
+  std::uint64_t repair_backoffs = 0;        ///< retransmit retries delayed
+  std::uint64_t resends_suppressed = 0;     ///< rate-limited control resends
+};
+
+/// Degraded-mode ladder driven by admission-queue occupancy watermarks
+/// (NodeConfig::max_pending / overload_{hi,lo}_pct). Inactive (always
+/// `normal`) when max_pending == 0.
+enum class OverloadState : std::uint8_t {
+  normal = 0,
+  backpressured = 1,  ///< above hi watermark: callers should slow down
+  shedding = 2,       ///< at capacity: try_propose() refuses
+};
+
+/// Outcome of try_propose(). On refusal `seq` is meaningless and
+/// `retry_after_us` is a deterministic backoff hint (roughly a group
+/// cycle, jittered per process so a refused team doesn't retry in
+/// lockstep).
+struct ProposeResult {
+  bool accepted = false;
+  ProposalSeq seq = 0;
+  std::uint64_t retry_after_us = 0;
 };
 
 class TimewheelNode final : public net::Handler {
@@ -91,6 +117,15 @@ class TimewheelNode final : public net::Handler {
   ProposalSeq propose(std::vector<std::byte> payload,
                       bcast::Order order = bcast::Order::total,
                       bcast::Atomicity atomicity = bcast::Atomicity::weak);
+  /// Admission-controlled propose: refuses (rather than queues) when the
+  /// node holds cfg.max_pending own proposals in flight. Refusal happens
+  /// BEFORE a sequence number is consumed, so it is invisible to FIFO /
+  /// fifo_floor gap detection — see NodeConfig::max_pending for why
+  /// shedding after admission is not an option. propose() is this with the
+  /// refusal ignored (and identical to it when max_pending == 0).
+  ProposeResult try_propose(
+      std::vector<std::byte> payload, bcast::Order order = bcast::Order::total,
+      bcast::Atomicity atomicity = bcast::Atomicity::weak);
 
   // Introspection ------------------------------------------------------
   [[nodiscard]] ProcessId self() const { return ep_.self(); }
@@ -135,6 +170,12 @@ class TimewheelNode final : public net::Handler {
   }
   /// Durable incarnation number (0 when running without a store).
   [[nodiscard]] std::uint64_t incarnation() const { return incarnation_; }
+  /// Current rung of the degraded-mode ladder (always `normal` when
+  /// max_pending == 0).
+  [[nodiscard]] OverloadState overload_state() const { return overload_; }
+  /// Own proposals in flight: queued-until-member plus
+  /// admitted-but-undelivered (the quantity max_pending bounds).
+  [[nodiscard]] std::size_t occupancy() const { return own_inflight_; }
 
  private:
   // --- clock helpers ----------------------------------------------------
@@ -248,6 +289,17 @@ class TimewheelNode final : public net::Handler {
   void flush_pending_proposals(sim::ClockTime now);
   void request_missing(sim::ClockTime now, ProcessId hint);
 
+  // --- overload protection (cfg_.max_pending > 0) -----------------------
+  /// Re-evaluate the degraded-mode ladder against the current occupancy
+  /// and emit overload_enter/overload_exit traces on transitions.
+  void update_overload();
+  [[nodiscard]] std::size_t overload_hi_mark() const;
+  [[nodiscard]] std::size_t overload_lo_mark() const;
+  /// Resend last_control_sent_ for a wrong-suspicion episode, rate-limited
+  /// with exponential backoff + jitter so repeated/duplicated no-decision
+  /// messages can't turn the resend into a repair storm.
+  void resend_last_control(sim::ClockTime now);
+
   // --- proposer-side batching (cfg_.max_batch > 1) ---------------------
   /// Queue an own proposal for the next batch; flushes once the batch is
   /// full, or after batch_flush_delay.
@@ -312,6 +364,21 @@ class TimewheelNode final : public net::Handler {
 
   // Last control message we broadcast (for wrong-suspicion resends).
   std::vector<std::byte> last_control_sent_;
+  /// Resend budget for the current wrong-suspicion episode: count and
+  /// timestamp of the last resend (reset when a new episode starts).
+  int suspect_resends_ = 0;
+  sim::ClockTime last_suspect_resend_ = -1;
+
+  // Overload protection (inactive when cfg_.max_pending == 0).
+  OverloadState overload_ = OverloadState::normal;
+  /// Own proposals in flight; incremented at admission, decremented when
+  /// an own proposal comes back delivered, resynced from ground truth
+  /// (pending queue + delivery engine) every housekeeping tick so purges
+  /// and undeliverable marks can't make it drift.
+  std::size_t own_inflight_ = 0;
+  /// Retransmit-request retry ladder (reset when the missing set shrinks).
+  int retransmit_attempts_ = 0;
+  std::size_t last_missing_count_ = 0;
 
   // Join machinery.
   struct JoinInfo {

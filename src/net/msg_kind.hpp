@@ -3,7 +3,9 @@
 // (experiment E1) and stacks can demultiplex before full decoding.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 namespace tw::net {
 
@@ -72,6 +74,43 @@ enum class MsgKind : std::uint8_t {
 
 [[nodiscard]] constexpr std::uint8_t kind_byte(MsgKind k) {
   return static_cast<std::uint8_t>(k);
+}
+
+/// Backpressure classification: data-plane kinds (proposals and
+/// application payloads) may be shed at a saturated sender — the proposer
+/// retries end to end. Everything else is control plane (rounds, views,
+/// membership, repair, state transfer): shedding it would stall or fork
+/// the GROUP, not one update, so control always passes an outbound cap.
+[[nodiscard]] constexpr bool is_data_kind(std::uint8_t k) {
+  switch (static_cast<MsgKind>(k)) {
+    case MsgKind::proposal:
+    case MsgKind::proposal_batch:
+    case MsgKind::app:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The kind byte a backpressure decision should classify by: the payload's
+/// first byte, except that a multi-group wrapper ([group_tag][varint
+/// tag][inner]) is transparent — the INNER kind decides, so one group's
+/// proposal flood cannot shed a sibling's view change. An empty or
+/// truncated frame classifies as invalid (control: the CRC/runt checks own
+/// rejecting it, not the backpressure path).
+[[nodiscard]] constexpr std::uint8_t classify_kind(
+    std::span<const std::byte> payload) {
+  if (payload.empty()) return kind_byte(MsgKind::invalid);
+  const auto first = static_cast<std::uint8_t>(payload[0]);
+  if (first != kind_byte(MsgKind::group_tag)) return first;
+  // Skip the varint group tag (LEB128: high bit = continuation).
+  std::size_t i = 1;
+  while (i < payload.size() &&
+         (static_cast<std::uint8_t>(payload[i]) & 0x80u) != 0)
+    ++i;
+  ++i;  // the varint's terminating byte
+  if (i >= payload.size()) return kind_byte(MsgKind::invalid);
+  return static_cast<std::uint8_t>(payload[i]);
 }
 
 }  // namespace tw::net

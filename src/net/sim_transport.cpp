@@ -26,6 +26,8 @@ obs::DropReason to_drop_reason(sim::DropCause cause) {
       return obs::DropReason::loss;
     case sim::DropCause::corrupt:
       return obs::DropReason::crc;
+    case sim::DropCause::backpressure:
+      return obs::DropReason::backpressure;
   }
   return obs::DropReason::loss;
 }
@@ -43,6 +45,7 @@ void export_counter_block(std::map<std::string, std::uint64_t>& out,
   out[prefix + "dropped_crashed"] = c.dropped_crashed;
   out[prefix + "dropped_rule"] = c.dropped_rule;
   out[prefix + "dropped_corrupt"] = c.dropped_corrupt;
+  out[prefix + "dropped_backpressure"] = c.dropped_backpressure;
   out[prefix + "late"] = c.late;
   out[prefix + "duplicated"] = c.duplicated;
   out[prefix + "reordered"] = c.reordered;
@@ -107,6 +110,12 @@ SimCluster::SimCluster(const SimClusterConfig& cfg)
         p, [this, p] { return procs_.hw_now(p); }, &registry_));
     endpoints_.push_back(std::make_unique<SimEndpoint>(*this, p));
   }
+  // Receive-side control priority: the slow-receiver fault throttles only
+  // the data plane — a backlogged member still services (tiny) control
+  // frames first, so overload degrades goodput, not membership.
+  procs_.set_drain_classifier([](std::span<const std::byte> payload) {
+    return is_data_kind(classify_kind(payload));
+  });
   net_.set_drop_hook([this](ProcessId from, ProcessId to, std::uint8_t kind,
                             sim::DropCause cause, std::size_t bytes) {
     (void)kind;
@@ -144,7 +153,23 @@ SimCluster::SimCluster(const SimClusterConfig& cfg)
         out["codec.allocs"] = s.allocs;
         out["codec.releases"] = s.releases;
         out["codec.discards"] = s.discards;
+        // Pool-health view of the same traffic: misses (freelist empty →
+        // heap alloc) and growth are the exhaustion signals; retained is
+        // how much capacity idles in the freelist right now.
+        out["util.pool.hits"] = s.reuses;
+        out["util.pool.misses"] = s.acquires - s.reuses;
+        out["util.pool.grew"] = s.allocs;
+        out["util.pool.retained_bytes"] =
+            util::BufferPool::local().retained_bytes();
       });
+}
+
+void SimCluster::set_send_budget(std::size_t bytes_per_window,
+                                 sim::Duration window) {
+  net_.set_send_budget(bytes_per_window, window,
+                       [](std::span<const std::byte> payload) {
+                         return is_data_kind(classify_kind(payload));
+                       });
 }
 
 SimCluster::~SimCluster() {

@@ -81,6 +81,11 @@ class SimCluster {
   /// Start every bound stack (on_start behind scheduling delays).
   void start();
 
+  /// Per-peer outbound cap on the simulated network, classifying frames
+  /// with the real wire rules (control passes, data sheds; group-tag
+  /// wrappers are transparent). 0 = off. See DatagramNetwork.
+  void set_send_budget(std::size_t bytes_per_window, sim::Duration window);
+
   void run_until(sim::SimTime t) { sim_.run_until(t); }
 
   [[nodiscard]] sim::SimTime now() const { return sim_.now(); }

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "net/msg_kind.hpp"
 #include "obs/timeline.hpp"
 #include "util/assert.hpp"
 #include "util/buffer_pool.hpp"
@@ -40,7 +41,10 @@ UdpEndpoint::UdpEndpoint(UdpCluster& cluster, ProcessId id)
   received_ = &cluster.registry_.counter(prefix + "received");
   crc_dropped_ = &cluster.registry_.counter(prefix + "crc_dropped");
   send_omitted_ = &cluster.registry_.counter(prefix + "send_omitted");
+  send_soft_err_ = &cluster.registry_.counter(prefix + "send_eagain");
+  send_shed_ = &cluster.registry_.counter(prefix + "send_shed");
   recv_err_ = &cluster.registry_.counter(prefix + "recv_err");
+  send_window_.resize(static_cast<std::size_t>(cluster.cfg_.n));
   loop_.set_recorder(&recorder_);
   open_socket();
 }
@@ -95,9 +99,44 @@ void UdpEndpoint::send_raw(ProcessId to, const std::vector<std::byte>& f) {
   // Wire kind tag = first payload byte (frame is [crc][sender][payload]).
   const std::uint8_t kind =
       f.size() > 8 ? static_cast<std::uint8_t>(f[8]) : 0;
-  const ssize_t n =
-      ::sendto(fd_, f.data(), f.size(), 0,
-               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+
+  // Per-peer outbound cap (config.send_budget_bytes): a bounded send
+  // queue in front of the socket. Data frames over the cap are shed here,
+  // control frames pass regardless but still charge the window.
+  if (cluster_.cfg_.send_budget_bytes > 0 && f.size() > 8) {
+    PeerWindow& w = send_window_[static_cast<std::size_t>(to)];
+    const sim::ClockTime now = evl::EventLoop::mono_now_us();
+    if (now - w.start >= cluster_.cfg_.send_budget_window) {
+      w.start = now;
+      w.used = 0;
+    }
+    if (w.used + f.size() > cluster_.cfg_.send_budget_bytes &&
+        is_data_kind(classify_kind({f.data() + 8, f.size() - 8}))) {
+      send_shed_->inc();
+      recorder_.emit(obs::EvKind::dgram_drop,
+                     static_cast<std::uint8_t>(obs::DropReason::backpressure),
+                     to, f.size());
+      return;
+    }
+    w.used += f.size();
+  }
+
+  const auto do_send = [&]() -> ssize_t {
+    if (cluster_.cfg_.send_fn)
+      return cluster_.cfg_.send_fn(to, f.data(), f.size());
+    return ::sendto(fd_, f.data(), f.size(), 0,
+                    reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  };
+  ssize_t n = do_send();
+  if (n < 0 &&
+      (errno == ENOBUFS || errno == EAGAIN || errno == EWOULDBLOCK)) {
+    // Transient kernel-queue exhaustion, the send-side mirror of the
+    // recv-side EAGAIN split: count it distinctly and retry once — a full
+    // queue often drains within the syscall turnaround — before letting
+    // it degrade to an omission below.
+    send_soft_err_->inc();
+    n = do_send();
+  }
   if (n < 0 || static_cast<std::size_t>(n) != f.size()) {
     // The datagram model already allows omission failures; a failed or
     // truncated sendto IS one, but it must be counted, not ignored.
@@ -212,9 +251,24 @@ UdpCluster::UdpCluster(const UdpClusterConfig& cfg)
     if (cfg.only >= 0 && p != static_cast<ProcessId>(cfg.only)) continue;
     endpoints_.push_back(std::make_unique<UdpEndpoint>(*this, p));
   }
+  // Buffer-pool health (same keys as the sim transport). Pools are
+  // thread-local: a snapshot sees the SNAPSHOTTING thread's pool, so meter
+  // a loop thread by posting the snapshot onto it.
+  pool_stats_source_ = registry_.register_source(
+      [](std::map<std::string, std::uint64_t>& out) {
+        const util::BufferPool::Stats& s = util::BufferPool::local().stats();
+        out["util.pool.hits"] = s.reuses;
+        out["util.pool.misses"] = s.acquires - s.reuses;
+        out["util.pool.grew"] = s.allocs;
+        out["util.pool.retained_bytes"] =
+            util::BufferPool::local().retained_bytes();
+      });
 }
 
-UdpCluster::~UdpCluster() { stop(); }
+UdpCluster::~UdpCluster() {
+  stop();
+  registry_.unregister_source(pool_stats_source_);
+}
 
 std::vector<obs::Event> UdpCluster::merged_trace() const {
   // Rings are written by the loop threads without locks; callers must

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -36,6 +38,18 @@ struct UdpClusterConfig {
   /// processes on the same port plan — which is what makes a REAL kill -9
   /// / restart of a single member possible (see examples/udp_cluster).
   int only = -1;
+  /// Per-peer outbound cap: at most this many frame bytes may leave an
+  /// endpoint toward one peer per send_budget_window. Data frames over
+  /// the cap are shed (udp.p<id>.send_shed, DropReason::backpressure);
+  /// control frames always pass but still charge the window — strict
+  /// priority, not free capacity. 0 = off.
+  std::size_t send_budget_bytes = 0;
+  sim::Duration send_budget_window = sim::msec(10);
+  /// Test seam: replaces ::sendto for every endpoint of this cluster
+  /// (unit tests mock kernel send errors with it). Receives (destination
+  /// member, frame bytes, frame size); returns the sendto()-style byte
+  /// count, or -1 with errno set. Null = the real ::sendto.
+  std::function<long(ProcessId, const void*, std::size_t)> send_fn;
 };
 
 class UdpCluster;
@@ -67,6 +81,14 @@ class UdpEndpoint final : public Endpoint {
   [[nodiscard]] std::uint64_t send_omitted() const {
     return send_omitted_->get();
   }
+  /// Transient sendto() refusals (ENOBUFS/EAGAIN/EWOULDBLOCK): the kernel
+  /// send queue was momentarily full. Counted separately from hard errors
+  /// and retried once before degrading to an omission.
+  [[nodiscard]] std::uint64_t send_soft_errors() const {
+    return send_soft_err_->get();
+  }
+  /// Data frames shed by the per-peer outbound cap (send_budget_bytes).
+  [[nodiscard]] std::uint64_t send_shed() const { return send_shed_->get(); }
   /// recv() failures other than would-block/interrupt since start.
   [[nodiscard]] std::uint64_t recv_errors() const {
     return recv_err_->get();
@@ -96,7 +118,15 @@ class UdpEndpoint final : public Endpoint {
   obs::Counter* received_;
   obs::Counter* crc_dropped_;
   obs::Counter* send_omitted_;
+  obs::Counter* send_soft_err_;
+  obs::Counter* send_shed_;
   obs::Counter* recv_err_;
+  /// Per-peer outbound budget windows (send_budget_bytes > 0).
+  struct PeerWindow {
+    sim::ClockTime start = 0;
+    std::size_t used = 0;
+  };
+  std::vector<PeerWindow> send_window_;
 };
 
 class UdpCluster {
@@ -144,6 +174,7 @@ class UdpCluster {
 
   UdpClusterConfig cfg_;
   obs::Registry registry_;  // must outlive endpoints_
+  obs::Registry::SourceId pool_stats_source_ = 0;
   std::vector<std::unique_ptr<UdpEndpoint>> endpoints_;
   std::vector<std::thread> threads_;
   std::vector<std::atomic<bool>> crashed_;

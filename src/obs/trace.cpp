@@ -9,18 +9,19 @@ namespace tw::obs {
 
 namespace {
 
-constexpr std::array<const char*, 23> kEvKindNames = {
+constexpr std::array<const char*, 25> kEvKindNames = {
     "dgram_send",   "dgram_recv",  "dgram_drop",        "timer_arm",
     "timer_fire",   "timer_cancel", "post_wake",        "clock_round",
     "clock_sync_lost", "clock_sync_gained", "bcast_order", "bcast_deliver",
     "fsm_transition", "view_install", "suspect",        "node_start",
     "store_open",   "rejoin_request", "rehabilitated",  "epoch_fence",
-    "oal_quarantined", "rejoin_retry", "round_drop",
+    "oal_quarantined", "rejoin_retry", "round_drop",    "overload_enter",
+    "overload_exit",
 };
 
-constexpr std::array<const char*, 9> kDropReasonNames = {
+constexpr std::array<const char*, 10> kDropReasonNames = {
     "crc",       "runt",     "crashed", "injected", "send_fail",
-    "recv_err",  "loss",     "link",    "rule",
+    "recv_err",  "loss",     "link",    "rule",     "backpressure",
 };
 
 }  // namespace

@@ -91,6 +91,14 @@ enum class EvKind : std::uint8_t {
   // send_ts — the round tag. The per-node total is the gms.stale_dropped
   // counter.
   round_drop = 22,
+
+  // Overload state machine (gms/timewheel_node): the node crossed a queue
+  // occupancy watermark. arg = the new OverloadState (0 normal /
+  // 1 backpressured / 2 shedding); a = the occupancy at the transition;
+  // b = the watermark that triggered it. overload_enter fires on any
+  // transition to a MORE loaded state, overload_exit on recovery.
+  overload_enter = 23,
+  overload_exit = 24,
 };
 
 /// Why a datagram was dropped at or before the receive path.
@@ -104,6 +112,7 @@ enum class DropReason : std::uint8_t {
   loss = 6,       ///< simulated ambient omission (loss_prob)
   link = 7,       ///< partition / forced-down link
   rule = 8,       ///< one-shot fault-injection drop rule
+  backpressure = 9,  ///< shed at the sender: per-peer outbound cap hit
 };
 
 [[nodiscard]] const char* ev_kind_name(EvKind k);

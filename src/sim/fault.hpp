@@ -37,6 +37,15 @@ class FaultScript {
     return *this;
   }
 
+  /// Slow receiver: p drains incoming datagrams at `pct` percent of the
+  /// normal service rate for `dur` (overloaded, not dead — its timers and
+  /// outgoing traffic stay timely). See ProcessService::slow_receiver.
+  FaultScript& slow_receiver_at(SimTime t, ProcessId p, int pct,
+                                Duration dur) {
+    sim_.at(t, [this, p, pct, dur] { procs_.slow_receiver(p, pct, dur); });
+    return *this;
+  }
+
   FaultScript& partition_at(SimTime t, std::vector<util::ProcessSet> groups) {
     sim_.at(t, [this, groups = std::move(groups)] {
       net_.set_partition(groups);

@@ -20,6 +20,7 @@ struct MessageStats {
     std::uint64_t dropped_crashed = 0;
     std::uint64_t dropped_rule = 0;   ///< fault-injection drop rule
     std::uint64_t dropped_corrupt = 0;  ///< integrity check (CRC) rejection
+    std::uint64_t dropped_backpressure = 0;  ///< shed at the sender's cap
     std::uint64_t late = 0;           ///< delivered with delay > δ
     std::uint64_t duplicated = 0;     ///< extra copies injected in flight
     std::uint64_t reordered = 0;      ///< bounded-reorder extra delay applied

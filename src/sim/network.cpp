@@ -144,6 +144,15 @@ void DatagramNetwork::schedule_delivery(ProcessId from, ProcessId to,
   });
 }
 
+void DatagramNetwork::set_send_budget(std::size_t bytes_per_window,
+                                      Duration window,
+                                      ShedClassifier is_sheddable) {
+  budget_bytes_ = bytes_per_window;
+  budget_window_ = window;
+  is_sheddable_ = std::move(is_sheddable);
+  budget_.assign(procs_.size(), std::vector<BudgetWindow>(procs_.size()));
+}
+
 void DatagramNetwork::transmit(ProcessId from, ProcessId to,
                                const Payload& payload) {
   const std::uint8_t kind = kind_of(*payload);
@@ -153,6 +162,26 @@ void DatagramNetwork::transmit(ProcessId from, ProcessId to,
   stats_.total.bytes_sent += payload->size();
   kc.bytes_sent += payload->size();
   ++stats_.sent_by_process[from];
+
+  // Sender-side outbound cap: a bounded device queue refuses BEFORE the
+  // network's failure model sees the frame. Data yields, control passes
+  // (but still occupies the window — priority, not free capacity).
+  if (budget_bytes_ > 0 && budget_window_ > 0) {
+    BudgetWindow& w = budget_[from][to];
+    if (sim_.now() - w.start >= budget_window_) {
+      w.start = sim_.now();
+      w.used = 0;
+    }
+    if (w.used + payload->size() > budget_bytes_ && is_sheddable_ &&
+        is_sheddable_(*payload)) {
+      ++stats_.total.dropped_backpressure;
+      ++kc.dropped_backpressure;
+      if (drop_hook_)
+        drop_hook_(from, to, kind, DropCause::backpressure, payload->size());
+      return;
+    }
+    w.used += payload->size();
+  }
 
   if (!procs_.is_up(to)) {
     ++stats_.total.dropped_crashed;

@@ -16,6 +16,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/message_stats.hpp"
@@ -39,7 +40,14 @@ struct NetFaultModel {
 };
 
 /// Why the network discarded an in-flight datagram (observability hook).
-enum class DropCause : std::uint8_t { crashed, link, rule, loss, corrupt };
+enum class DropCause : std::uint8_t {
+  crashed,
+  link,
+  rule,
+  loss,
+  corrupt,
+  backpressure,  ///< sender's per-peer outbound cap shed a data frame
+};
 
 class DatagramNetwork {
  public:
@@ -109,6 +117,20 @@ class DatagramNetwork {
   void set_fault_model(const NetFaultModel& m) { faults_ = m; }
   [[nodiscard]] const NetFaultModel& fault_model() const { return faults_; }
 
+  /// Decides whether a payload is sheddable data (true) or must-pass
+  /// control (false) under the outbound budget. Injected by the transport
+  /// layer so the simulator stays ignorant of message formats.
+  using ShedClassifier = std::function<bool(std::span<const std::byte>)>;
+
+  /// Per-peer outbound occupancy cap, modeling a bounded device send
+  /// queue: each (from, to) pair may put at most `bytes_per_window` on
+  /// the wire per `window`. Data frames over the cap are shed (counted as
+  /// dropped_backpressure, DropCause::backpressure); control frames pass
+  /// regardless — strict priority — but still charge the window, so
+  /// control load shrinks what data may use. 0 bytes = unlimited (off).
+  void set_send_budget(std::size_t bytes_per_window, Duration window,
+                       ShedClassifier is_sheddable);
+
  private:
   enum class RuleAction : std::uint8_t { drop, delay, duplicate, corrupt };
 
@@ -137,6 +159,16 @@ class DatagramNetwork {
   DropHook drop_hook_;
   std::vector<std::vector<bool>> link_up_;  // [from][to]
   std::deque<Rule> rules_;
+
+  // Outbound budget (set_send_budget; off when budget_bytes_ == 0).
+  struct BudgetWindow {
+    SimTime start = 0;
+    std::size_t used = 0;
+  };
+  std::size_t budget_bytes_ = 0;
+  Duration budget_window_ = 0;
+  ShedClassifier is_sheddable_;
+  std::vector<std::vector<BudgetWindow>> budget_;  // [from][to]
 };
 
 }  // namespace tw::sim

@@ -75,6 +75,9 @@ void ProcessService::recover(ProcessId p) {
   proc.up = true;
   ++proc.incarnation;
   proc.stalled_until = 0;
+  proc.drain_pct = 100;
+  proc.slow_until = 0;
+  proc.drain_next = 0;
   if (proc.cb.on_start) react(p, sim_.now(), [this, p] {
     procs_[p].cb.on_start();
   });
@@ -83,6 +86,14 @@ void ProcessService::recover(ProcessId p) {
 void ProcessService::stall(ProcessId p, Duration d) {
   auto& proc = procs_.at(p);
   proc.stalled_until = std::max(proc.stalled_until, sim_.now() + d);
+}
+
+void ProcessService::slow_receiver(ProcessId p, int pct, Duration dur) {
+  TW_ASSERT(pct > 0 && pct <= 100);
+  auto& proc = procs_.at(p);
+  proc.drain_pct = pct;
+  proc.slow_until = std::max(proc.slow_until, sim_.now() + dur);
+  proc.drain_next = std::max(proc.drain_next, sim_.now());
 }
 
 void ProcessService::clock_step(ProcessId p, ClockTime delta) {
@@ -110,7 +121,24 @@ EventId ProcessService::react(ProcessId p, SimTime earliest,
 void ProcessService::deliver_datagram(
     ProcessId to, ProcessId from,
     std::shared_ptr<const std::vector<std::byte>> payload) {
-  react(to, sim_.now(), [this, to, from, payload = std::move(payload)] {
+  SimTime earliest = sim_.now();
+  auto& proc = procs_.at(to);
+  if (sim_.now() < proc.slow_until && proc.drain_pct < 100 &&
+      (!drain_is_data_ ||
+       drain_is_data_(std::span<const std::byte>(*payload)))) {
+    // Slow receiver: serialize datagram reactions with an inflated service
+    // time. The baseline is σ — the paper's timeliness bound — so pct% of
+    // normal rate means one datagram per σ·100/pct: even a mildly slow
+    // member visibly lags and a badly slow one builds a real backlog.
+    // Clamping by slow_until means the backlog dissolves the moment the
+    // throttle window ends (the process catches up instantly — it was
+    // slow, not dead).
+    const Duration spacing =
+        std::max<Duration>(1, sched_.sigma * 100 / proc.drain_pct);
+    earliest = std::max(earliest, std::min(proc.drain_next, proc.slow_until));
+    proc.drain_next = earliest + spacing;
+  }
+  react(to, earliest, [this, to, from, payload = std::move(payload)] {
     if (procs_[to].cb.on_datagram)
       procs_[to].cb.on_datagram(from, std::span<const std::byte>(*payload));
   });

@@ -72,6 +72,24 @@ class ProcessService {
   /// Defer all of p's reactions until now + d (a performance failure if
   /// d > sigma).
   void stall(ProcessId p, Duration d);
+  /// Slow receiver: until now + dur, p drains incoming DATA datagrams at
+  /// `pct` percent of normal service rate — each throttled reaction is
+  /// spaced σ·100/pct apart, so a backlog builds while p stays alive.
+  /// Timers are NOT throttled, and datagrams the drain classifier calls
+  /// control bypass the throttle: overload means the data plane lags while
+  /// the member keeps its (tiny, prioritized) protocol duties timely — the
+  /// overload (not crash) failure mode a correct FD must not suspect.
+  void slow_receiver(ProcessId p, int pct, Duration dur);
+
+  /// Classifier for the slow-receiver throttle: true = the datagram is
+  /// data-plane traffic subject to the drain throttle, false = control,
+  /// which a receiver services first no matter how backlogged its data
+  /// queue is. Unset throttles everything (no wire-format knowledge here —
+  /// the transport layer injects the real classification rules).
+  using DrainClassifier = std::function<bool(std::span<const std::byte>)>;
+  void set_drain_classifier(DrainClassifier is_data) {
+    drain_is_data_ = std::move(is_data);
+  }
   /// Hardware-clock failure (paper §2): discontinuous jump of p's clock by
   /// `delta`. Timers already armed against the old reading keep their real
   /// fire time — exactly what a stepped clock does to a real process.
@@ -114,6 +132,10 @@ class ProcessService {
     bool up = true;
     int incarnation = 0;
     SimTime stalled_until = 0;
+    // Slow-receiver throttle (slow_receiver()): datagram drain state.
+    int drain_pct = 100;     ///< datagram service rate, percent of normal
+    SimTime slow_until = 0;  ///< throttle expires at this instant
+    SimTime drain_next = 0;  ///< earliest service time for the next datagram
   };
 
   /// Schedule a reaction of p: applies scheduling delay + stall, drops it
@@ -123,6 +145,7 @@ class ProcessService {
   Simulator& sim_;
   SchedModel sched_;
   std::vector<Proc> procs_;
+  DrainClassifier drain_is_data_;
 };
 
 }  // namespace tw::sim

@@ -52,6 +52,7 @@ const char* fault_type_name(FaultType t) {
     case FaultType::store_fsync: return "store_fsync";
     case FaultType::flap: return "flap";
     case FaultType::oneway: return "oneway";
+    case FaultType::slow_receiver: return "slow_receiver";
   }
   return "?";
 }
@@ -112,6 +113,10 @@ std::string FaultOp::to_string() const {
     case FaultType::oneway:
       os << " p" << p << (kind != 0 ? " deaf to " : " mute towards ")
          << targets.to_string();
+      break;
+    case FaultType::slow_receiver:
+      os << " p" << p << " at " << static_cast<int>(kind) << "% for "
+         << sim::to_ms(dur) << "ms";
       break;
   }
   return os.str();
@@ -183,7 +188,7 @@ FaultPlan generate_plan(const TortureConfig& cfg, std::uint64_t seed) {
     FaultOp op;
     op.at = t;
     const auto p = static_cast<ProcessId>(rng.uniform_int(0, cfg.n - 1));
-    switch (rng.uniform_int(0, 15)) {
+    switch (rng.uniform_int(0, 16)) {
       case 0:
       case 1:  // crash, if the failure assumption allows it
         if (cfg.crashes && up[p] && t >= partitioned_until &&
@@ -354,6 +359,17 @@ FaultPlan generate_plan(const TortureConfig& cfg, std::uint64_t seed) {
           }
         }
         break;
+      case 15:  // slow receiver: alive but draining at a fraction of rate
+        if (cfg.slow_receivers && up[p]) {
+          op.type = FaultType::slow_receiver;
+          op.p = p;
+          op.kind = static_cast<std::uint8_t>(rng.uniform_int(10, 90));
+          op.dur = std::min<sim::Duration>(
+              rng.uniform_int(sim::msec(300), sim::msec(2000)),
+              std::max<sim::Duration>(1, cfg.fault_end - t));
+          plan.ops.push_back(op);
+        }
+        break;
       default:  // hardware-clock drift change
         if (cfg.clock_faults && up[p]) {
           op.type = FaultType::clock_drift;
@@ -455,6 +471,10 @@ void apply_plan(const FaultPlan& plan, gms::SimHarness& harness) {
         break;
       case FaultType::oneway:
         faults.oneway_at(op.at, op.p, op.targets, op.kind != 0);
+        break;
+      case FaultType::slow_receiver:
+        faults.slow_receiver_at(op.at, op.p, static_cast<int>(op.kind),
+                                op.dur);
         break;
       case FaultType::drop_rule:
         faults.drop_at(op.at, op.p, op.kind, op.targets, op.count);
@@ -610,7 +630,7 @@ bool plan_from_string(const std::string& text, FaultPlan& out) {
           op.model.reorder_prob >> op.model.corrupt_prob >> structural;
       if (ls.fail()) return false;
       bool found = false;
-      for (int ti = 0; ti <= static_cast<int>(FaultType::oneway);
+      for (int ti = 0; ti <= static_cast<int>(FaultType::slow_receiver);
            ++ti) {
         if (type_name == fault_type_name(static_cast<FaultType>(ti))) {
           op.type = static_cast<FaultType>(ti);

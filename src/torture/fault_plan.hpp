@@ -48,6 +48,11 @@ enum class FaultType : std::uint8_t {
   // but the parser bound below must track the last enumerator).
   flap,    ///< targets flaps vs the rest: `count` cuts, one per `dur`
   oneway,  ///< p loses its inbound (kind=1) / outbound (kind=0) links to targets
+  /// Overload primitive: p stays alive but drains incoming datagrams at
+  /// `kind` percent of the normal service rate for `dur`. The oracle holds
+  /// a merely-slow member to the full safety bar AND (for pure
+  /// slow-receiver plans) checks nobody falsely suspected it.
+  slow_receiver,
 };
 
 [[nodiscard]] const char* fault_type_name(FaultType t);
@@ -100,6 +105,7 @@ struct TortureConfig {
   bool corruption = true;
   bool clock_faults = true;
   bool store_faults = true;
+  bool slow_receivers = true;
 
   double workload_rate_hz = 15.0;           ///< proposal rate during faults
 

@@ -218,6 +218,64 @@ OracleReport run_oracle(gms::SimHarness& harness, const FaultPlan& plan) {
     }
   }
 
+  // Overload is not a failure: when the ONLY injected faults are
+  // slow_receiver ops and the ambient datagram service is clean (no loss,
+  // no lateness, no dup/reorder/corrupt model), every datagram arrives on
+  // time and every member's outgoing control traffic stays timely — the
+  // slow members are overloaded, not crashed or performance-failed. A
+  // failure detector that suspects one turned backlog into a false crash
+  // verdict. (Mixed plans skip this: loss or cuts make suspicion correct.)
+  // A suspecter whose own inbound was throttled is exempt: it cannot tell
+  // "peer silent" from "I am not draining my socket", and the protocol's
+  // wrong-suspicion path handles its mistake safely (checked above). What
+  // is NOT acceptable is a healthy observer suspecting the slow member —
+  // its outgoing control traffic stayed timely, so only the detector
+  // mistaking backlog for a crash could produce that verdict.
+  {
+    bool pure_slow = plan.cfg.loss_prob == 0.0 && plan.cfg.late_prob == 0.0;
+    struct SlowWindow {
+      ProcessId p;
+      sim::SimTime from, until;
+    };
+    std::vector<SlowWindow> windows;
+    util::ProcessSet slowed;
+    for (const FaultOp& op : plan.ops) {
+      if (op.type == FaultType::slow_receiver) {
+        slowed.insert(op.p);
+        // Grace past the window end: a detector timeout armed on stale
+        // (throttled) observations can still fire shortly after the
+        // backlog dissolves.
+        windows.push_back({op.p, op.at, op.at + op.dur + sim::msec(500)});
+      } else if (op.type == FaultType::set_model && op.model.active()) {
+        pure_slow = false;
+      } else if (!op.structural) {
+        pure_slow = false;
+      }
+    }
+    if (pure_slow && !slowed.empty()) {
+      // Event times are synchronized-clock estimates (t_sync), good to
+      // within clock-sync error of the sim times the plan names — widen
+      // the exemption window rather than blame a boundary case.
+      const sim::Duration sync_slop = sim::msec(100);
+      auto throttled = [&](ProcessId p, std::int64_t t) {
+        for (const SlowWindow& w : windows)
+          if (w.p == p && t >= w.from - sync_slop && t <= w.until) return true;
+        return false;
+      };
+      for (const auto& e : harness.merged_trace()) {
+        if (e.kind == obs::EvKind::suspect &&
+            slowed.contains(static_cast<ProcessId>(e.a)) &&
+            !throttled(e.p, e.t_sync())) {
+          report.violations.push_back(
+              "false suspicion: healthy p" + std::to_string(e.p) +
+              " suspected merely-slow p" + std::to_string(e.a) +
+              " (overload must not look like a crash)");
+          break;
+        }
+      }
+    }
+  }
+
   // Corruption containment: every datagram mutated in flight must have been
   // rejected by the CRC check, and nothing the application delivered may
   // carry a payload outside the issued workload tags. Read through the

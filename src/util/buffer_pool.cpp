@@ -1,5 +1,6 @@
 #include "util/buffer_pool.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace tw::util {
@@ -9,6 +10,7 @@ std::vector<std::byte> BufferPool::acquire() {
   if (enabled_ && !free_.empty()) {
     std::vector<std::byte> buf = std::move(free_.back());
     free_.pop_back();
+    retained_bytes_ -= std::min(retained_bytes_, buf.capacity());
     buf.clear();  // keeps capacity
     ++stats_.reuses;
     return buf;
@@ -24,6 +26,7 @@ void BufferPool::release(std::vector<std::byte>&& buf) {
     return;  // dropping `buf` frees it
   }
   buf.clear();
+  retained_bytes_ += buf.capacity();
   free_.push_back(std::move(buf));
 }
 

@@ -44,6 +44,10 @@ class BufferPool {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
 
+  /// Capacity currently idling in the freelist (exported as
+  /// util.pool.retained_bytes — how much memory the pool is pinning).
+  [[nodiscard]] std::size_t retained_bytes() const { return retained_bytes_; }
+
   /// Disabled, acquire() always misses and release() always discards —
   /// the pre-pool allocation behavior, used as the bench baseline.
   void set_enabled(bool on) { enabled_ = on; }
@@ -58,6 +62,7 @@ class BufferPool {
 
   std::vector<std::vector<std::byte>> free_;
   Stats stats_;
+  std::size_t retained_bytes_ = 0;  ///< sum of free_ capacities
   bool enabled_ = true;
 };
 

@@ -38,7 +38,8 @@ void usage() {
   --reorder P       ambient bounded-reorder probability (default 0.05)
   --corrupt P       ambient corruption probability (default 0.01)
   --no-crash --no-stall --no-partition --no-drop --no-dup
-  --no-reorder --no-corrupt --no-clock --no-store    disable a fault family
+  --no-reorder --no-corrupt --no-clock --no-store --no-slow
+                    disable a fault family
   --print-plan      print the generated fault schedule before running
   --no-minimize     skip minimizing failing schedules
   --out FILE        write failing plans to FILE (default torture_fail.plan)
@@ -127,6 +128,8 @@ int main(int argc, char** argv) {
       cfg.clock_faults = false;
     } else if (arg == "--no-store") {
       cfg.store_faults = false;
+    } else if (arg == "--no-slow") {
+      cfg.slow_receivers = false;
     } else if (arg == "--print-plan") {
       print_plan = true;
     } else if (arg == "--no-minimize") {
